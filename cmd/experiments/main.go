@@ -1,0 +1,155 @@
+// Command experiments regenerates the paper's tables and figures from
+// the workload suite. Each experiment prints the corresponding table; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments [-exp table1|table2|fig18|fig19|ablation|spatial|section2|all]
+//	            [-bench name] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spatial/internal/core"
+	"spatial/internal/harness"
+	"spatial/internal/memsys"
+	"spatial/internal/opt"
+	"spatial/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig18, fig19, ablation, spatial, irsize, area, section2, all")
+	bench := flag.String("bench", "", "restrict to one benchmark")
+	quick := flag.Bool("quick", false, "use a reduced sweep for fig19")
+	flag.Parse()
+
+	ws := workloads.All()
+	if *bench != "" {
+		w := workloads.ByName(*bench)
+		if w == nil {
+			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		ws = []*workloads.Workload{w}
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println()
+	}
+
+	run("section2", func() error { return section2() })
+	run("table1", func() error {
+		rows, err := harness.Table1("")
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatTable1(rows))
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := harness.Table2(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatTable2(rows))
+		return nil
+	})
+	run("fig18", func() error {
+		rows, err := harness.Fig18(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatFig18(rows))
+		return nil
+	})
+	run("fig19", func() error {
+		levels := []opt.Level{opt.None, opt.Medium, opt.Full}
+		mems := harness.MemSystems()
+		if *quick {
+			mems = []memsys.Config{memsys.PerfectConfig(), memsys.PaperConfig(2)}
+		}
+		rows, err := harness.Fig19(ws, levels, mems)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatFig19(rows))
+		return nil
+	})
+	run("ablation", func() error {
+		rows, err := harness.Ablation(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatAblation(rows))
+		n, err := harness.DecouplingApplicability(workloads.All())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loop decoupling applicable: %d loops across the suite\n", n)
+		return nil
+	})
+	run("spatial", func() error {
+		rows, err := harness.SpatialVsSeq(ws, opt.Full)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatSpatial(rows, opt.Full))
+		return nil
+	})
+	run("irsize", func() error {
+		rows, err := harness.IRSize(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatIRSize(rows))
+		return nil
+	})
+	run("area", func() error {
+		rows, err := harness.Area(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatArea(rows))
+		return nil
+	})
+}
+
+// section2 reproduces the paper's opening comparison: the number of
+// memory operations left in the motivating example by a naive compilation
+// versus CASH's optimizations.
+func section2() error {
+	const src = `
+void f(unsigned *p, unsigned a[], int i) {
+  if (p) a[i] += *p;
+  else a[i] = 1;
+  a[i] <<= a[i+1];
+}`
+	fmt.Println("Section 2: memory operations in the motivating example")
+	fmt.Println("  void f(unsigned*p, unsigned a[], int i)")
+	for _, lv := range []opt.Level{opt.None, opt.Full} {
+		cp, err := core.CompileSource(src, core.Options{Level: lv})
+		if err != nil {
+			return err
+		}
+		loads, stores := cp.StaticMemOps()
+		label := "naive (like the 5 compilers that keep the temp)"
+		if lv == opt.Full {
+			label = "CASH (removes two stores and one load)"
+		}
+		fmt.Printf("  %-48s loads=%d stores=%d\n", label, loads, stores)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

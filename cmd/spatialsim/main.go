@@ -1,0 +1,131 @@
+// Command spatialsim compiles a cMinor program and executes a function on
+// the self-timed dataflow simulator, printing the result and execution
+// statistics. It can also run the sequential interpreter baseline for
+// comparison.
+//
+// Usage:
+//
+//	spatialsim [-O level] [-entry name] [-mem perfect|real1|real2|real4]
+//	           [-seq] [-edgecap n] file.c [args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"spatial/internal/core"
+	"spatial/internal/dataflow"
+	"spatial/internal/memsys"
+	"spatial/internal/opt"
+)
+
+func main() {
+	level := flag.String("O", "full", "optimization level: none, basic, medium, full")
+	entry := flag.String("entry", "main", "entry function")
+	mem := flag.String("mem", "perfect", "memory system: perfect, real1, real2, real4")
+	seq := flag.Bool("seq", false, "also run the sequential baseline")
+	edgeCap := flag.Int("edgecap", 1, "dataflow edge buffer depth")
+	profile := flag.Bool("profile", false, "print per-operator firing profile")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: spatialsim [flags] file.c [args...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	lv, err := parseLevel(*level)
+	if err != nil {
+		fatal(err)
+	}
+	mcfg, err := parseMem(*mem)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var args []int64
+	for _, a := range flag.Args()[1:] {
+		v, err := strconv.ParseInt(a, 0, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad argument %q: %v", a, err))
+		}
+		args = append(args, v)
+	}
+	cp, err := core.CompileSource(string(src), core.Options{Level: lv})
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultSim()
+	cfg.Mem = mcfg
+	cfg.EdgeCap = *edgeCap
+	var res *core.SimResult
+	if *profile {
+		var prof *dataflow.Profile
+		res, prof, err = dataflow.RunProfiled(cp.Program, *entry, args, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer fmt.Print(prof.Format(10))
+	} else {
+		res, err = cp.RunWith(*entry, args, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("result:    %d\n", res.Value)
+	fmt.Printf("cycles:    %d\n", res.Stats.Cycles)
+	fmt.Printf("ops fired: %d\n", res.Stats.OpsFired)
+	fmt.Printf("loads:     %d (+%d squashed)\n", res.Stats.DynLoads, res.Stats.NullMem)
+	fmt.Printf("stores:    %d\n", res.Stats.DynStores)
+	fmt.Printf("calls:     %d\n", res.Stats.Calls)
+	m := res.Stats.Mem
+	fmt.Printf("memory:    L1 %d/%d hits, L2 %d hits, TLB misses %d\n",
+		m.L1Hits, m.L1Hits+m.L1Misses, m.L2Hits, m.TLBMisses)
+	if *seq {
+		sres, err := cp.RunSequential(*entry, args)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sequential: result %d, cycles %d (spatial speedup %.2fx)\n",
+			sres.Value, sres.SeqCycles, float64(sres.SeqCycles)/float64(res.Stats.Cycles))
+		if sres.Value != res.Value {
+			fatal(fmt.Errorf("MISMATCH: spatial %d vs sequential %d", res.Value, sres.Value))
+		}
+	}
+}
+
+func parseLevel(s string) (opt.Level, error) {
+	switch s {
+	case "none":
+		return opt.None, nil
+	case "basic":
+		return opt.Basic, nil
+	case "medium":
+		return opt.Medium, nil
+	case "full":
+		return opt.Full, nil
+	}
+	return 0, fmt.Errorf("unknown optimization level %q", s)
+}
+
+func parseMem(s string) (memsys.Config, error) {
+	switch s {
+	case "perfect":
+		return memsys.PerfectConfig(), nil
+	case "real1":
+		return memsys.PaperConfig(1), nil
+	case "real2":
+		return memsys.PaperConfig(2), nil
+	case "real4":
+		return memsys.PaperConfig(4), nil
+	}
+	return memsys.Config{}, fmt.Errorf("unknown memory system %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spatialsim:", err)
+	os.Exit(1)
+}

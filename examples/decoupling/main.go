@@ -1,0 +1,80 @@
+// Decoupling demonstrates the paper's Section 6.3 loop decoupling: the
+// loop `a[i] = a[i+3] + 1` has a dependence distance of 3 iterations, so
+// CASH splits it into two loops coupled by a token generator tk(3) that
+// lets them slip up to 3 iterations apart.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spatial/internal/core"
+	"spatial/internal/opt"
+	"spatial/internal/pegasus"
+)
+
+const example = `
+int a[512];
+
+void fill(void) {
+  int i;
+  for (i = 0; i < 512; i++) a[i] = i & 15;
+}
+
+void shift(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] = a[i+3] + 1;
+  }
+}
+
+int checksum(void) {
+  int i;
+  int s = 0;
+  for (i = 0; i < 512; i++) s = s * 3 + a[i];
+  return s & 0x7fffffff;
+}
+
+int bench(void) {
+  fill();
+  shift(509);
+  return checksum();
+}
+`
+
+func main() {
+	withTk, err := core.CompileSource(example, core.Options{Level: opt.Full})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Disable decoupling for the comparison point.
+	noTkOpts := opt.LevelOptions(opt.Full)
+	noTkOpts.LoopDecouple = false
+	noTk, err := core.CompileSource(example, core.Options{Passes: &noTkOpts})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the token generator in the decoupled graph.
+	g := withTk.Graph("shift")
+	for _, n := range g.Nodes {
+		if !n.Dead && n.Kind == pegasus.KTokenGen {
+			fmt.Printf("loop decoupling inserted a token generator tk(%d)\n", n.TokN)
+		}
+	}
+
+	run := func(cp *core.Compiled, label string) int64 {
+		res, err := cp.Run("bench", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s checksum=%d cycles=%d\n", label, res.Value, res.Stats.Cycles)
+		return res.Value
+	}
+	a := run(noTk, "without decoupling:")
+	b := run(withTk, "with decoupling:")
+	if a != b {
+		log.Fatalf("results differ: %d vs %d", a, b)
+	}
+	fmt.Println("results match: the token generator preserved the dependence")
+}

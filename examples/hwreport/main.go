@@ -1,0 +1,48 @@
+// Hwreport demonstrates the hardware-oriented side of spatial
+// computation: it compiles a benchmark kernel, estimates the synthesized
+// circuit's resources (the ASPLOS'04 area evaluation), and profiles which
+// operators are hottest during execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spatial/internal/build"
+	"spatial/internal/dataflow"
+	"spatial/internal/hw"
+	"spatial/internal/opt"
+	"spatial/internal/workloads"
+)
+
+func main() {
+	w := workloads.ByName("mesa")
+	prog, err := w.Parse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, level := range []opt.Level{opt.None, opt.Full} {
+		p, err := build.Compile(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := opt.OptimizeAt(p, level); err != nil {
+			log.Fatal(err)
+		}
+		var area int64
+		for _, r := range hw.EstimateProgram(p) {
+			area += r.Area
+		}
+		fmt.Printf("mesa at -O %-6v: %8d gate equivalents\n", level, area)
+		if level == opt.Full {
+			fmt.Println("\nper-function circuit estimate:")
+			fmt.Print(hw.Format(hw.EstimateProgram(p)))
+			res, prof, err := dataflow.RunProfiled(p, w.Entry, nil, dataflow.DefaultConfig())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nexecution: checksum=%d cycles=%d\n", res.Value, res.Stats.Cycles)
+			fmt.Print(prof.Format(8))
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package alias
+
+import (
+	"testing"
+
+	"spatial/internal/cminor"
+)
+
+func analyze(t *testing.T, src string) (*cminor.Program, *Analysis) {
+	t.Helper()
+	prog, err := cminor.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := cminor.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	a, err := Analyze(prog)
+	if err != nil {
+		t.Fatalf("alias: %v", err)
+	}
+	return prog, a
+}
+
+func objByName(t *testing.T, a *Analysis, name string) *Object {
+	t.Helper()
+	for _, o := range a.Objects {
+		if o.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("no object named %s (have %v)", name, a.Objects)
+	return nil
+}
+
+func TestObjectsCollected(t *testing.T) {
+	_, a := analyze(t, `
+int g;
+int arr[10];
+void f(void) {
+  int local;        // register: no object
+  int buf[4];       // memory object
+  int taken = 0;
+  int *p = &taken;  // taken becomes address-taken
+  *p = local;
+}
+`)
+	objByName(t, a, "g")
+	objByName(t, a, "arr")
+	objByName(t, a, "f.buf")
+	objByName(t, a, "f.taken")
+	for _, o := range a.Objects {
+		if o.Name == "f.local" || o.Name == "f.p" {
+			t.Errorf("register variable %s should not be an object", o.Name)
+		}
+	}
+}
+
+func TestPointsToDistinctArrays(t *testing.T) {
+	prog, a := analyze(t, `
+int x[8];
+int y[8];
+void kernel(int *p, int *q) { *p = *q + 1; }
+void main0(void) { kernel(x, y); }
+`)
+	kernel := prog.Func("kernel")
+	var p, q *cminor.VarDecl
+	for _, prm := range kernel.Params {
+		if prm.Name == "p" {
+			p = prm
+		} else {
+			q = prm
+		}
+	}
+	xObj := objByName(t, a, "x").ID
+	yObj := objByName(t, a, "y").ID
+	pPts, qPts := a.PointsTo(p), a.PointsTo(q)
+	if !pPts.Has(xObj) || pPts.Has(yObj) {
+		t.Errorf("pts(p) = %v, want {x}", pPts)
+	}
+	if !qPts.Has(yObj) || qPts.Has(xObj) {
+		t.Errorf("pts(q) = %v, want {y}", qPts)
+	}
+}
+
+func TestUncalledFunctionParamsAreTop(t *testing.T) {
+	prog, a := analyze(t, `
+int arr[4];
+void f(unsigned *p, unsigned a[], int i) {
+  if (p) a[i] += *p; else a[i] = 1;
+}
+`)
+	f := prog.Func("f")
+	pPts := a.PointsTo(f.Params[0])
+	if !pPts.Has(a.Unknown) {
+		t.Errorf("pts(p) should include Unknown for an entry function, got %v", pPts)
+	}
+	if !pPts.Has(objByName(t, a, "arr").ID) {
+		t.Errorf("pts(p) should include all objects, got %v", pPts)
+	}
+}
+
+func TestPointerThroughGlobal(t *testing.T) {
+	prog, a := analyze(t, `
+int data[16];
+int *gp;
+void setup(void) { gp = data; }
+int use(void) { return *gp; }
+void main0(void) { setup(); use(); }
+`)
+	use := prog.Func("use")
+	_ = use
+	gp := prog.Global("gp")
+	pts := a.PointsTo(gp)
+	if !pts.Has(objByName(t, a, "data").ID) {
+		t.Errorf("pts(*gp) = %v, want data", pts)
+	}
+}
+
+func TestAddrObjects(t *testing.T) {
+	prog, a := analyze(t, `
+int x[8];
+int y[8];
+void f(void) {
+  int i;
+  for (i = 0; i < 8; i++) x[i] = y[i];
+}
+`)
+	// find the assignment x[i] = y[i]
+	f := prog.Func("f")
+	var found int
+	a.visitAccesses(f, func(addr cminor.Expr, isWrite bool) {
+		objs := a.AddrObjects(addr)
+		if isWrite {
+			if !objs.Has(objByName(t, a, "x").ID) || objs.Has(objByName(t, a, "y").ID) {
+				t.Errorf("write set = %v, want {x}", objs)
+			}
+		}
+		found++
+	}, nil)
+	if found != 2 {
+		t.Errorf("found %d accesses, want 2", found)
+	}
+}
+
+func TestLocationClassesDisjoint(t *testing.T) {
+	_, a := analyze(t, `
+int src[64];
+int dst[64];
+void f(void) {
+  int i;
+  for (i = 0; i < 64; i++) dst[i] = src[i] * 2;
+}
+`)
+	src := objByName(t, a, "src").ID
+	dst := objByName(t, a, "dst").ID
+	if a.ClassOf(src) == a.ClassOf(dst) {
+		t.Error("disjoint arrays should be in different location classes")
+	}
+}
+
+func TestLocationClassesMergedByAliasing(t *testing.T) {
+	_, a := analyze(t, `
+int bufA[64];
+int bufB[64];
+int pick(int c) {
+  int *p;
+  if (c) p = bufA; else p = bufB;
+  return *p;
+}
+void main0(void) { pick(1); }
+`)
+	oa := objByName(t, a, "bufA").ID
+	ob := objByName(t, a, "bufB").ID
+	if a.ClassOf(oa) != a.ClassOf(ob) {
+		t.Error("arrays reachable from the same pointer must share a class")
+	}
+}
+
+func TestConstObjects(t *testing.T) {
+	_, a := analyze(t, `
+const int table[4] = {1, 2, 3, 4};
+int out[4];
+void f(void) {
+  int i;
+  for (i = 0; i < 4; i++) out[i] = table[i];
+}
+`)
+	tbl := objByName(t, a, "table")
+	if !tbl.Const {
+		t.Error("const array not marked immutable")
+	}
+	if !a.IsConstSet(SetOf(tbl.ID)) {
+		t.Error("IsConstSet(table) = false")
+	}
+	if a.IsConstSet(SetOf(objByName(t, a, "out").ID)) {
+		t.Error("out should not be const")
+	}
+}
+
+func TestStringObjectsAreConst(t *testing.T) {
+	prog, a := analyze(t, `
+int sum(const char *s, int n) {
+  int i;
+  int t = 0;
+  for (i = 0; i < n; i++) t += s[i];
+  return t;
+}
+int main0(void) { return sum("hello", 5); }
+`)
+	if len(prog.Strings) != 1 {
+		t.Fatalf("strings = %d", len(prog.Strings))
+	}
+	o := a.Objects[a.StringObject(0)]
+	if !o.Const {
+		t.Error("string literal object not const")
+	}
+	// The parameter s points only at the string.
+	s := prog.Func("sum").Params[0]
+	pts := a.PointsTo(s)
+	if !pts.Has(o.ID) || pts.Has(a.Unknown) {
+		t.Errorf("pts(s) = %v, want just the string", pts)
+	}
+}
+
+func TestFuncSummaries(t *testing.T) {
+	prog, a := analyze(t, `
+int in[8];
+int out[8];
+int readIn(int i) { return in[i]; }
+void writeOut(int i, int v) { out[i] = v; }
+void both(int i) { writeOut(i, readIn(i)); }
+void main0(void) { both(3); }
+`)
+	inObj := objByName(t, a, "in").ID
+	outObj := objByName(t, a, "out").ID
+	r := a.FuncReads(prog.Func("readIn"))
+	w := a.FuncWrites(prog.Func("readIn"))
+	if !r.Has(inObj) || !w.Empty() {
+		t.Errorf("readIn summary: R=%v W=%v", r, w)
+	}
+	br := a.FuncReads(prog.Func("both"))
+	bw := a.FuncWrites(prog.Func("both"))
+	if !br.Has(inObj) || !bw.Has(outObj) {
+		t.Errorf("both summary: R=%v W=%v", br, bw)
+	}
+}
+
+func TestRoots(t *testing.T) {
+	prog, _ := analyze(t, `
+void f(int *p, int *q, int i) {
+  p[i] = q[i] + 1;
+}
+`)
+	f := prog.Func("f")
+	// dig out the instr: p[i] = q[i] + 1
+	asn := f.Body.Stmts[0].(*cminor.ExprStmt).X.(*cminor.AssignExpr)
+	lhsIdx := asn.LHS.(*cminor.IndexExpr)
+	roots := Roots(lhsIdx.Array)
+	if len(roots) != 1 || roots[0].Name != "p" {
+		t.Errorf("roots of p = %v", roots)
+	}
+	rhs := asn.RHS.(*cminor.BinExpr).L.(*cminor.IndexExpr)
+	roots = Roots(rhs.Array)
+	if len(roots) != 1 || roots[0].Name != "q" {
+		t.Errorf("roots of q = %v", roots)
+	}
+}
+
+func TestIndependentPragma(t *testing.T) {
+	prog, a := analyze(t, `
+void f(int *p, int *q, int n) {
+  #pragma independent p q
+  int i;
+  for (i = 0; i < n; i++) p[i] = q[i] + 1;
+}
+`)
+	f := prog.Func("f")
+	p, q := f.Params[0], f.Params[1]
+	if !a.Independent(f, []*cminor.VarDecl{p}, []*cminor.VarDecl{q}) {
+		t.Error("p and q should be independent")
+	}
+	if a.Independent(f, []*cminor.VarDecl{p}, []*cminor.VarDecl{p}) {
+		t.Error("p is never independent of itself")
+	}
+	if a.Independent(f, nil, []*cminor.VarDecl{q}) {
+		t.Error("empty roots cannot be independent")
+	}
+}
+
+func TestIndependentNotDeclared(t *testing.T) {
+	prog, a := analyze(t, `
+void f(int *p, int *q, int n) {
+  int i;
+  for (i = 0; i < n; i++) p[i] = q[i] + 1;
+}
+`)
+	f := prog.Func("f")
+	if a.Independent(f, []*cminor.VarDecl{f.Params[0]}, []*cminor.VarDecl{f.Params[1]}) {
+		t.Error("independence without a pragma")
+	}
+}
+
+func TestRootsThroughMemoryAreLost(t *testing.T) {
+	prog, _ := analyze(t, `
+int *tab[4];
+int f(int i) { return *tab[i]; }
+void main0(void) { f(1); }
+`)
+	f := prog.Func("f")
+	deref := f.Body.Stmts[0].(*cminor.ReturnStmt).X.(*cminor.DerefExpr)
+	if roots := Roots(deref.X); roots != nil {
+		t.Errorf("roots through a memory load should be nil, got %v", roots)
+	}
+}
+
+func TestMemoryScalarGlobalIsAccessed(t *testing.T) {
+	prog, a := analyze(t, `
+int counter;
+void bump(void) { counter = counter + 1; }
+`)
+	bump := prog.Func("bump")
+	reads, writes := 0, 0
+	a.visitAccesses(bump, func(addr cminor.Expr, isWrite bool) {
+		objs := a.AddrObjects(addr)
+		if !objs.Has(objByName(t, a, "counter").ID) {
+			t.Errorf("access set %v missing counter", objs)
+		}
+		if isWrite {
+			writes++
+		} else {
+			reads++
+		}
+	}, nil)
+	if reads != 1 || writes != 1 {
+		t.Errorf("reads=%d writes=%d, want 1 and 1", reads, writes)
+	}
+}
+
+func TestRecursionSummaryTerminates(t *testing.T) {
+	prog, a := analyze(t, `
+int acc[4];
+int fib(int n) {
+  if (n < 2) return n;
+  acc[0] = acc[0] + 1;
+  return fib(n-1) + fib(n-2);
+}
+void main0(void) { fib(5); }
+`)
+	w := a.FuncWrites(prog.Func("fib"))
+	if !w.Has(objByName(t, a, "acc").ID) {
+		t.Errorf("fib writes = %v", w)
+	}
+}
+
+func TestPointerArrayElements(t *testing.T) {
+	_, a := analyze(t, `
+int x;
+int y;
+int *tab[2];
+void setup(void) { tab[0] = &x; tab[1] = &y; }
+int get(int i) { return *tab[i]; }
+void main0(void) { setup(); get(0); }
+`)
+	// The summary of tab must include both x and y.
+	tabObj := objByName(t, a, "tab")
+	xObj := objByName(t, a, "x")
+	yObj := objByName(t, a, "y")
+	// Deref of tab[i] may touch x or y: the class machinery must merge
+	// them.
+	if a.ClassOf(xObj.ID) != a.ClassOf(yObj.ID) {
+		t.Error("x and y reachable through tab must share a class")
+	}
+	_ = tabObj
+}
+
+func TestDoubleIndirection(t *testing.T) {
+	prog, a := analyze(t, `
+int data;
+int *p = &data;
+int **pp = &p;
+int get(void) { return **pp; }
+void main0(void) { get(); }
+`)
+	_ = prog
+	dataObj := objByName(t, a, "data")
+	pObj := objByName(t, a, "p")
+	// pts(summary(pp)) ∋ p; pts(summary(p)) ∋ data.
+	ptsP := a.PointsTo(prog.Global("p"))
+	if !ptsP.Has(dataObj.ID) {
+		t.Errorf("pts(*p) = %v, want data", ptsP)
+	}
+	ptsPP := a.PointsTo(prog.Global("pp"))
+	if !ptsPP.Has(pObj.ID) {
+		t.Errorf("pts(*pp) = %v, want p", ptsPP)
+	}
+}
+
+func TestConditionalPointer(t *testing.T) {
+	prog, a := analyze(t, `
+int a0[4];
+int b0[4];
+int pick(int c) {
+  int *p = c ? a0 : b0;
+  return p[0];
+}
+void main0(void) { pick(1); }
+`)
+	p := prog.Func("pick").Locals[0]
+	pts := a.PointsTo(p)
+	if !pts.Has(objByName(t, a, "a0").ID) || !pts.Has(objByName(t, a, "b0").ID) {
+		t.Errorf("pts(p) = %v, want both arrays", pts)
+	}
+}
+
+func TestCastThroughInt(t *testing.T) {
+	prog, a := analyze(t, `
+int buf[8];
+int f(void) {
+  int *p = (int*)(int)buf;
+  return p[1];
+}
+void main0(void) { f(); }
+`)
+	p := prog.Func("f").Locals[0]
+	pts := a.PointsTo(p)
+	if !pts.Has(objByName(t, a, "buf").ID) {
+		t.Errorf("provenance lost through int cast chain: %v", pts)
+	}
+}
+
+func TestSetElemsOrderAndClone(t *testing.T) {
+	s := SetOf(9, 1, 70)
+	e := s.Elems()
+	if len(e) != 3 || e[0] != 1 || e[1] != 9 || e[2] != 70 {
+		t.Errorf("elems = %v", e)
+	}
+	c := s.Clone()
+	c.Add(2)
+	if s.Has(2) {
+		t.Error("clone aliases the original")
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,290 @@
+// Package bdd implements reduced ordered binary decision diagrams.
+//
+// CASH's memory optimizations rest on "boolean manipulation of the
+// controlling predicates" (paper Sections 2 and 5): store-before-store
+// removal needs implication tests between store predicates, load merging
+// needs disjunction, and dead-operation removal needs constant-false
+// detection. A small ROBDD gives all of these exactly (for the path
+// predicates of a hyperblock, which are built from a modest number of
+// branch conditions), instead of the incomplete syntactic matching most
+// compilers settle for.
+package bdd
+
+import "fmt"
+
+// Ref is a reference to a BDD node within a Space. The constants False and
+// True are valid in every Space.
+type Ref int32
+
+// Terminal nodes, shared by all spaces.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level int32 // variable index; terminals use a sentinel level
+	lo    Ref   // cofactor when the variable is 0
+	hi    Ref   // cofactor when the variable is 1
+}
+
+const terminalLevel = int32(1) << 30
+
+// Space is a BDD manager: it owns the node table and memoization caches.
+// A Space is not safe for concurrent use.
+type Space struct {
+	nodes  []node
+	unique map[node]Ref
+	// Binary-operation memo tables.
+	andCache map[[2]Ref]Ref
+	orCache  map[[2]Ref]Ref
+	notCache map[Ref]Ref
+	nvars    int
+}
+
+// New creates an empty Space.
+func New() *Space {
+	s := &Space{
+		unique:   make(map[node]Ref),
+		andCache: make(map[[2]Ref]Ref),
+		orCache:  make(map[[2]Ref]Ref),
+		notCache: make(map[Ref]Ref),
+	}
+	// Reserve slots 0 and 1 for the terminals.
+	s.nodes = append(s.nodes,
+		node{level: terminalLevel},
+		node{level: terminalLevel})
+	return s
+}
+
+// NumVars returns the number of variables allocated so far.
+func (s *Space) NumVars() int { return s.nvars }
+
+// Size returns the number of live nodes, including the two terminals.
+func (s *Space) Size() int { return len(s.nodes) }
+
+// Var allocates a fresh variable and returns the BDD for it.
+func (s *Space) Var() Ref {
+	v := int32(s.nvars)
+	s.nvars++
+	return s.mk(v, False, True)
+}
+
+// VarRef returns the BDD for variable index i, allocating intermediate
+// variables if needed.
+func (s *Space) VarRef(i int) Ref {
+	for s.nvars <= i {
+		s.Var()
+	}
+	return s.mk(int32(i), False, True)
+}
+
+func (s *Space) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	n := node{level: level, lo: lo, hi: hi}
+	if r, ok := s.unique[n]; ok {
+		return r
+	}
+	r := Ref(len(s.nodes))
+	s.nodes = append(s.nodes, n)
+	s.unique[n] = r
+	return r
+}
+
+func (s *Space) level(r Ref) int32 { return s.nodes[r].level }
+
+// Not returns the complement of a.
+func (s *Space) Not(a Ref) Ref {
+	switch a {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := s.notCache[a]; ok {
+		return r
+	}
+	n := s.nodes[a]
+	r := s.mk(n.level, s.Not(n.lo), s.Not(n.hi))
+	s.notCache[a] = r
+	s.notCache[r] = a
+	return r
+}
+
+// And returns a ∧ b.
+func (s *Space) And(a, b Ref) Ref {
+	switch {
+	case a == False || b == False:
+		return False
+	case a == True:
+		return b
+	case b == True:
+		return a
+	case a == b:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Ref{a, b}
+	if r, ok := s.andCache[key]; ok {
+		return r
+	}
+	na, nb := s.nodes[a], s.nodes[b]
+	var r Ref
+	switch {
+	case na.level == nb.level:
+		r = s.mk(na.level, s.And(na.lo, nb.lo), s.And(na.hi, nb.hi))
+	case na.level < nb.level:
+		r = s.mk(na.level, s.And(na.lo, b), s.And(na.hi, b))
+	default:
+		r = s.mk(nb.level, s.And(a, nb.lo), s.And(a, nb.hi))
+	}
+	s.andCache[key] = r
+	return r
+}
+
+// Or returns a ∨ b.
+func (s *Space) Or(a, b Ref) Ref {
+	switch {
+	case a == True || b == True:
+		return True
+	case a == False:
+		return b
+	case b == False:
+		return a
+	case a == b:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Ref{a, b}
+	if r, ok := s.orCache[key]; ok {
+		return r
+	}
+	na, nb := s.nodes[a], s.nodes[b]
+	var r Ref
+	switch {
+	case na.level == nb.level:
+		r = s.mk(na.level, s.Or(na.lo, nb.lo), s.Or(na.hi, nb.hi))
+	case na.level < nb.level:
+		r = s.mk(na.level, s.Or(na.lo, b), s.Or(na.hi, b))
+	default:
+		r = s.mk(nb.level, s.Or(a, nb.lo), s.Or(a, nb.hi))
+	}
+	s.orCache[key] = r
+	return r
+}
+
+// Xor returns a ⊕ b.
+func (s *Space) Xor(a, b Ref) Ref {
+	return s.Or(s.And(a, s.Not(b)), s.And(s.Not(a), b))
+}
+
+// AndNot returns a ∧ ¬b: the store-before-store rewrite (paper Figure 8)
+// replaces the earlier store's predicate p1 with p1 ∧ ¬p2.
+func (s *Space) AndNot(a, b Ref) Ref { return s.And(a, s.Not(b)) }
+
+// Implies reports whether a ⇒ b holds for all assignments. CASH uses this
+// to detect post-dominance between predicated memory operations.
+func (s *Space) Implies(a, b Ref) bool { return s.AndNot(a, b) == False }
+
+// Equiv reports whether a and b denote the same function (by canonicity,
+// reference equality).
+func (s *Space) Equiv(a, b Ref) bool { return a == b }
+
+// Disjoint reports whether a ∧ b is unsatisfiable: the two predicates can
+// never be true together (mutually exclusive paths).
+func (s *Space) Disjoint(a, b Ref) bool { return s.And(a, b) == False }
+
+// Ite returns if-then-else: (c ∧ t) ∨ (¬c ∧ e).
+func (s *Space) Ite(c, t, e Ref) Ref {
+	return s.Or(s.And(c, t), s.And(s.Not(c), e))
+}
+
+// Eval evaluates the BDD under the given assignment; missing variables
+// default to false.
+func (s *Space) Eval(r Ref, assign map[int]bool) bool {
+	for r != False && r != True {
+		n := s.nodes[r]
+		if assign[int(n.level)] {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	}
+	return r == True
+}
+
+// Support returns the set of variable indices the function depends on, in
+// increasing order.
+func (s *Space) Support(r Ref) []int {
+	seen := map[Ref]bool{}
+	inSup := map[int32]bool{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r == False || r == True || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := s.nodes[r]
+		inSup[n.level] = true
+		walk(n.lo)
+		walk(n.hi)
+	}
+	walk(r)
+	var out []int
+	for v := int32(0); v < int32(s.nvars); v++ {
+		if inSup[v] {
+			out = append(out, int(v))
+		}
+	}
+	return out
+}
+
+// String renders the BDD as a sum of products, for diagnostics.
+func (s *Space) String(r Ref) string {
+	switch r {
+	case False:
+		return "0"
+	case True:
+		return "1"
+	}
+	var terms []string
+	var lits []string
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r == False {
+			return
+		}
+		if r == True {
+			term := ""
+			for i, l := range lits {
+				if i > 0 {
+					term += "&"
+				}
+				term += l
+			}
+			terms = append(terms, term)
+			return
+		}
+		n := s.nodes[r]
+		lits = append(lits, fmt.Sprintf("!v%d", n.level))
+		walk(n.lo)
+		lits[len(lits)-1] = fmt.Sprintf("v%d", n.level)
+		walk(n.hi)
+		lits = lits[:len(lits)-1]
+	}
+	walk(r)
+	out := ""
+	for i, t := range terms {
+		if i > 0 {
+			out += " | "
+		}
+		out += t
+	}
+	return out
+}

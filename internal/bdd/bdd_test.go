@@ -1,0 +1,279 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminals(t *testing.T) {
+	s := New()
+	if s.And(True, True) != True || s.And(True, False) != False {
+		t.Error("And on terminals wrong")
+	}
+	if s.Or(False, False) != False || s.Or(False, True) != True {
+		t.Error("Or on terminals wrong")
+	}
+	if s.Not(True) != False || s.Not(False) != True {
+		t.Error("Not on terminals wrong")
+	}
+}
+
+func TestBasicLaws(t *testing.T) {
+	s := New()
+	a, b := s.Var(), s.Var()
+	if s.And(a, s.Not(a)) != False {
+		t.Error("a & !a != 0")
+	}
+	if s.Or(a, s.Not(a)) != True {
+		t.Error("a | !a != 1")
+	}
+	if s.And(a, b) != s.And(b, a) {
+		t.Error("And not commutative")
+	}
+	if s.Or(a, b) != s.Or(b, a) {
+		t.Error("Or not commutative")
+	}
+	// De Morgan.
+	if s.Not(s.And(a, b)) != s.Or(s.Not(a), s.Not(b)) {
+		t.Error("De Morgan (and) fails")
+	}
+	if s.Not(s.Or(a, b)) != s.And(s.Not(a), s.Not(b)) {
+		t.Error("De Morgan (or) fails")
+	}
+	// Double negation is identity (canonicity check).
+	if s.Not(s.Not(s.And(a, b))) != s.And(a, b) {
+		t.Error("double negation not identity")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	s := New()
+	a, b := s.Var(), s.Var()
+	ab := s.And(a, b)
+	if !s.Implies(ab, a) {
+		t.Error("a&b should imply a")
+	}
+	if s.Implies(a, ab) {
+		t.Error("a should not imply a&b")
+	}
+	if !s.Implies(False, a) {
+		t.Error("false implies everything")
+	}
+	if !s.Implies(a, True) {
+		t.Error("everything implies true")
+	}
+	if !s.Implies(a, s.Or(a, b)) {
+		t.Error("a should imply a|b")
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	s := New()
+	a, b := s.Var(), s.Var()
+	if !s.Disjoint(s.And(a, b), s.And(s.Not(a), b)) {
+		t.Error("a&b and !a&b should be disjoint")
+	}
+	if s.Disjoint(a, b) {
+		t.Error("independent variables are not disjoint")
+	}
+}
+
+// TestMuxPredicates models the decoded-mux predicates in Figure 1C: the
+// two store predicates p and !p together dominate the load, so the load's
+// residual predicate is constant false.
+func TestMuxPredicates(t *testing.T) {
+	s := New()
+	p := s.Var()
+	notP := s.Not(p)
+	covered := s.Or(p, notP)
+	if covered != True {
+		t.Fatal("p | !p should be true")
+	}
+	// Load executes only when no store does (Figure 9): pred & !covered.
+	loadPred := s.AndNot(True, covered)
+	if loadPred != False {
+		t.Error("dominated load predicate should be constant false")
+	}
+}
+
+// TestStoreBeforeStore models Figure 8: the earlier store's predicate is
+// and-not'ed with the later store's; if the later store post-dominates
+// (predicate true), the earlier store dies.
+func TestStoreBeforeStore(t *testing.T) {
+	s := New()
+	p := s.Var()
+	if s.AndNot(p, True) != False {
+		t.Error("store under p before unconditional store should die")
+	}
+	q := s.Var()
+	want := s.And(p, s.Not(q))
+	if s.AndNot(p, q) != want {
+		t.Error("partial overwrite should leave p & !q")
+	}
+}
+
+func TestIte(t *testing.T) {
+	s := New()
+	c, a, b := s.Var(), s.Var(), s.Var()
+	r := s.Ite(c, a, b)
+	for _, tc := range []struct {
+		cv, av, bv, want bool
+	}{
+		{true, true, false, true},
+		{true, false, true, false},
+		{false, true, false, false},
+		{false, false, true, true},
+	} {
+		got := s.Eval(r, map[int]bool{0: tc.cv, 1: tc.av, 2: tc.bv})
+		if got != tc.want {
+			t.Errorf("ite(%v,%v,%v) = %v, want %v", tc.cv, tc.av, tc.bv, got, tc.want)
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	s := New()
+	a, b, c := s.Var(), s.Var(), s.Var()
+	_ = c
+	f := s.And(a, s.Or(b, s.Not(a)))
+	sup := s.Support(f)
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 1 {
+		t.Errorf("support = %v, want [0 1]", sup)
+	}
+	// a & (b | !b) depends only on a.
+	g := s.And(a, s.Or(b, s.Not(b)))
+	if sup := s.Support(g); len(sup) != 1 || sup[0] != 0 {
+		t.Errorf("support = %v, want [0]", sup)
+	}
+}
+
+func TestVarRef(t *testing.T) {
+	s := New()
+	v3 := s.VarRef(3)
+	if s.NumVars() != 4 {
+		t.Errorf("NumVars = %d, want 4", s.NumVars())
+	}
+	if v3 != s.VarRef(3) {
+		t.Error("VarRef not idempotent")
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	s := New()
+	a, b := s.Var(), s.Var()
+	if got := s.String(True); got != "1" {
+		t.Errorf("String(true) = %q", got)
+	}
+	if got := s.String(False); got != "0" {
+		t.Errorf("String(false) = %q", got)
+	}
+	if got := s.String(s.And(a, b)); got != "v0&v1" {
+		t.Errorf("String(a&b) = %q", got)
+	}
+}
+
+// randomExpr builds a random boolean expression tree and returns both its
+// BDD and a closure evaluating the same expression directly.
+func randomExpr(s *Space, rng *rand.Rand, vars []Ref, depth int) (Ref, func([]bool) bool) {
+	if depth == 0 || rng.Intn(4) == 0 {
+		i := rng.Intn(len(vars))
+		return vars[i], func(env []bool) bool { return env[i] }
+	}
+	switch rng.Intn(3) {
+	case 0:
+		l, fl := randomExpr(s, rng, vars, depth-1)
+		r, fr := randomExpr(s, rng, vars, depth-1)
+		return s.And(l, r), func(env []bool) bool { return fl(env) && fr(env) }
+	case 1:
+		l, fl := randomExpr(s, rng, vars, depth-1)
+		r, fr := randomExpr(s, rng, vars, depth-1)
+		return s.Or(l, r), func(env []bool) bool { return fl(env) || fr(env) }
+	default:
+		x, fx := randomExpr(s, rng, vars, depth-1)
+		return s.Not(x), func(env []bool) bool { return !fx(env) }
+	}
+}
+
+// Property: a random expression's BDD agrees with direct evaluation on all
+// 2^n assignments.
+func TestRandomExprSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		s := New()
+		const nv = 5
+		vars := make([]Ref, nv)
+		for i := range vars {
+			vars[i] = s.Var()
+		}
+		r, eval := randomExpr(s, rng, vars, 6)
+		for mask := 0; mask < 1<<nv; mask++ {
+			env := make([]bool, nv)
+			assign := map[int]bool{}
+			for i := 0; i < nv; i++ {
+				env[i] = mask&(1<<i) != 0
+				assign[i] = env[i]
+			}
+			if s.Eval(r, assign) != eval(env) {
+				t.Fatalf("trial %d mask %b: BDD disagrees with direct eval", trial, mask)
+			}
+		}
+	}
+}
+
+// Property: canonicity — semantically equal random expressions get the
+// same Ref.
+func TestCanonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		vars := []Ref{s.Var(), s.Var(), s.Var()}
+		a, fa := randomExpr(s, rng, vars, 5)
+		b, fb := randomExpr(s, rng, vars, 5)
+		equal := true
+		for mask := 0; mask < 8; mask++ {
+			env := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+			if fa(env) != fb(env) {
+				equal = false
+				break
+			}
+		}
+		return equal == (a == b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Implies(a, b) agrees with exhaustive checking.
+func TestImpliesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		s := New()
+		vars := []Ref{s.Var(), s.Var(), s.Var(), s.Var()}
+		a, fa := randomExpr(s, rng, vars, 4)
+		b, fb := randomExpr(s, rng, vars, 4)
+		want := true
+		for mask := 0; mask < 16; mask++ {
+			env := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0, mask&8 != 0}
+			if fa(env) && !fb(env) {
+				want = false
+				break
+			}
+		}
+		if got := s.Implies(a, b); got != want {
+			t.Fatalf("trial %d: Implies = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func BenchmarkAndChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		acc := True
+		for j := 0; j < 32; j++ {
+			acc = s.And(acc, s.Or(s.Var(), s.Not(s.VarRef(j/2))))
+		}
+		_ = acc
+	}
+}

@@ -1,0 +1,588 @@
+// Package cfg builds and analyzes control-flow graphs for cMinor
+// functions. It provides the structures the Pegasus builder consumes:
+// basic blocks of simple statements, dominators, natural loops, and the
+// hyperblock partition (maximal single-entry acyclic regions, paper
+// Section 3.1).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spatial/internal/cminor"
+)
+
+// Instr is a simple statement inside a basic block: an assignment or a
+// bare expression evaluated for side effects (a call).
+type Instr struct {
+	Pos cminor.Pos
+	// LHS is nil for a bare expression statement.
+	LHS cminor.Expr
+	RHS cminor.Expr
+}
+
+// TermKind discriminates block terminators.
+type TermKind int
+
+// Terminator kinds.
+const (
+	TermGoto TermKind = iota
+	TermIf
+	TermRet
+)
+
+// Term is a block terminator.
+type Term struct {
+	Kind TermKind
+	Cond cminor.Expr // TermIf
+	Then *Block      // TermIf: true target; TermGoto: target
+	Else *Block      // TermIf: false target
+	Ret  cminor.Expr // TermRet; may be nil
+}
+
+// Block is a basic block.
+type Block struct {
+	ID     int
+	Instrs []Instr
+	Term   Term
+	Preds  []*Block
+
+	// Analysis results, filled by Analyze.
+	Idom  *Block
+	Loop  *Loop
+	Hyper *Hyperblock
+	RPO   int
+}
+
+// Succs returns the successor blocks in order (then, else).
+func (b *Block) Succs() []*Block {
+	switch b.Term.Kind {
+	case TermGoto:
+		return []*Block{b.Term.Then}
+	case TermIf:
+		return []*Block{b.Term.Then, b.Term.Else}
+	}
+	return nil
+}
+
+// Loop is a natural loop.
+type Loop struct {
+	Header *Block
+	Blocks map[*Block]bool
+	Parent *Loop
+	Depth  int
+	// Latches are the sources of back edges into Header.
+	Latches []*Block
+}
+
+// Contains reports whether the loop (including nested loops) contains b.
+func (l *Loop) Contains(b *Block) bool { return l.Blocks[b] }
+
+// Hyperblock is a maximal single-entry acyclic region: the unit of
+// predication in CASH.
+type Hyperblock struct {
+	ID   int
+	Seed *Block
+	// Blocks in reverse postorder (topological within the hyperblock).
+	Blocks []*Block
+	// Loop is the innermost loop containing the seed, or nil. When the
+	// seed is that loop's header, the hyperblock carries the loop's
+	// merge/eta token circuits.
+	Loop *Loop
+	// IsLoopHeader is set when Seed is a loop header (the hyperblock has
+	// back-edge predecessors).
+	IsLoopHeader bool
+}
+
+// Graph is a function's CFG with analysis results.
+type Graph struct {
+	Fn     *cminor.FuncDecl
+	Entry  *Block
+	Blocks []*Block // reverse postorder
+	Loops  []*Loop
+	Hypers []*Hyperblock
+}
+
+// Build lowers a checked function body into a CFG and runs Analyze.
+func Build(fn *cminor.FuncDecl) (*Graph, error) {
+	if fn.Body == nil {
+		return nil, fmt.Errorf("cfg: function %s has no body", fn.Name)
+	}
+	b := &builder{fn: fn}
+	entry := b.newBlock()
+	last := b.lowerStmt(entry, fn.Body)
+	if last != nil {
+		// Implicit return at the end of the function.
+		last.Term = Term{Kind: TermRet}
+	}
+	g := &Graph{Fn: fn, Entry: entry, Blocks: b.blocks}
+	g.prune()
+	if err := g.Analyze(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+type builder struct {
+	fn     *cminor.FuncDecl
+	blocks []*Block
+	nextID int
+	// loop stacks for break/continue.
+	breakTargets    []*Block
+	continueTargets []*Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{ID: b.nextID}
+	b.nextID++
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// lowerStmt lowers s, appending to cur. It returns the block where control
+// continues, or nil when the statement always transfers control away.
+func (b *builder) lowerStmt(cur *Block, s cminor.Stmt) *Block {
+	if cur == nil {
+		// Unreachable code after return/break/continue is dropped; the
+		// checker has already validated it.
+		return nil
+	}
+	switch s := s.(type) {
+	case *cminor.BlockStmt:
+		for _, sub := range s.Stmts {
+			cur = b.lowerStmt(cur, sub)
+			if cur == nil {
+				return nil
+			}
+		}
+		return cur
+	case *cminor.EmptyStmt, *cminor.PragmaStmt:
+		return cur
+	case *cminor.DeclStmt:
+		v := s.Var
+		if v.Init != nil {
+			ref := &cminor.VarRef{Pos: v.Pos, Name: v.Name, Decl: v, Typ: v.Type}
+			cur.Instrs = append(cur.Instrs, Instr{Pos: s.Pos, LHS: ref, RHS: v.Init})
+		}
+		for i, e := range v.InitList {
+			ref := &cminor.VarRef{Pos: v.Pos, Name: v.Name, Decl: v, Typ: v.Type}
+			idx := &cminor.IndexExpr{
+				Pos:   v.Pos,
+				Array: ref,
+				Index: &cminor.NumberLit{Pos: v.Pos, Val: int64(i), Typ: cminor.Int},
+				Typ:   v.Type.Elem,
+			}
+			cur.Instrs = append(cur.Instrs, Instr{Pos: s.Pos, LHS: idx, RHS: e})
+		}
+		return cur
+	case *cminor.ExprStmt:
+		return b.lowerExprStmt(cur, s.X, s.Pos)
+	case *cminor.IfStmt:
+		thenBlk := b.newBlock()
+		var elseBlk *Block
+		join := b.newBlock()
+		if s.Else != nil {
+			elseBlk = b.newBlock()
+			cur.Term = Term{Kind: TermIf, Cond: s.Cond, Then: thenBlk, Else: elseBlk}
+		} else {
+			cur.Term = Term{Kind: TermIf, Cond: s.Cond, Then: thenBlk, Else: join}
+		}
+		tEnd := b.lowerStmt(thenBlk, s.Then)
+		if tEnd != nil {
+			tEnd.Term = Term{Kind: TermGoto, Then: join}
+		}
+		if s.Else != nil {
+			eEnd := b.lowerStmt(elseBlk, s.Else)
+			if eEnd != nil {
+				eEnd.Term = Term{Kind: TermGoto, Then: join}
+			}
+		}
+		return join
+	case *cminor.WhileStmt:
+		header := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		cur.Term = Term{Kind: TermGoto, Then: header}
+		header.Term = Term{Kind: TermIf, Cond: s.Cond, Then: body, Else: exit}
+		b.breakTargets = append(b.breakTargets, exit)
+		b.continueTargets = append(b.continueTargets, header)
+		bEnd := b.lowerStmt(body, s.Body)
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+		if bEnd != nil {
+			bEnd.Term = Term{Kind: TermGoto, Then: header}
+		}
+		return exit
+	case *cminor.DoWhileStmt:
+		body := b.newBlock()
+		cond := b.newBlock()
+		exit := b.newBlock()
+		cur.Term = Term{Kind: TermGoto, Then: body}
+		b.breakTargets = append(b.breakTargets, exit)
+		b.continueTargets = append(b.continueTargets, cond)
+		bEnd := b.lowerStmt(body, s.Body)
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+		if bEnd != nil {
+			bEnd.Term = Term{Kind: TermGoto, Then: cond}
+		}
+		cond.Term = Term{Kind: TermIf, Cond: s.Cond, Then: body, Else: exit}
+		return exit
+	case *cminor.ForStmt:
+		if s.Init != nil {
+			cur = b.lowerStmt(cur, s.Init)
+			if cur == nil {
+				return nil
+			}
+		}
+		header := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		exit := b.newBlock()
+		cur.Term = Term{Kind: TermGoto, Then: header}
+		if s.Cond != nil {
+			header.Term = Term{Kind: TermIf, Cond: s.Cond, Then: body, Else: exit}
+		} else {
+			header.Term = Term{Kind: TermGoto, Then: body}
+		}
+		b.breakTargets = append(b.breakTargets, exit)
+		b.continueTargets = append(b.continueTargets, post)
+		bEnd := b.lowerStmt(body, s.Body)
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+		if bEnd != nil {
+			bEnd.Term = Term{Kind: TermGoto, Then: post}
+		}
+		if s.Post != nil {
+			post = b.lowerExprStmt(post, s.Post, s.Pos)
+		}
+		post.Term = Term{Kind: TermGoto, Then: header}
+		return exit
+	case *cminor.ReturnStmt:
+		cur.Term = Term{Kind: TermRet, Ret: s.X}
+		return nil
+	case *cminor.BreakStmt:
+		cur.Term = Term{Kind: TermGoto, Then: b.breakTargets[len(b.breakTargets)-1]}
+		return nil
+	case *cminor.ContinueStmt:
+		cur.Term = Term{Kind: TermGoto, Then: b.continueTargets[len(b.continueTargets)-1]}
+		return nil
+	}
+	panic(fmt.Sprintf("cfg: unknown statement %T", s))
+}
+
+func (b *builder) lowerExprStmt(cur *Block, e cminor.Expr, pos cminor.Pos) *Block {
+	if asn, ok := e.(*cminor.AssignExpr); ok {
+		cur.Instrs = append(cur.Instrs, Instr{Pos: pos, LHS: asn.LHS, RHS: asn.RHS})
+		return cur
+	}
+	cur.Instrs = append(cur.Instrs, Instr{Pos: pos, RHS: e})
+	return cur
+}
+
+// prune removes unreachable blocks, merges empty goto chains, and computes
+// predecessor lists and reverse postorder.
+func (g *Graph) prune() {
+	// Collapse empty blocks that only jump elsewhere (created at joins).
+	redirect := func(blk *Block) *Block {
+		seen := map[*Block]bool{}
+		for blk.Term.Kind == TermGoto && len(blk.Instrs) == 0 && blk != g.Entry {
+			if seen[blk] {
+				break // degenerate self-loop; keep as is
+			}
+			seen[blk] = true
+			blk = blk.Term.Then
+		}
+		return blk
+	}
+	for _, blk := range g.Blocks {
+		switch blk.Term.Kind {
+		case TermGoto:
+			blk.Term.Then = redirect(blk.Term.Then)
+		case TermIf:
+			blk.Term.Then = redirect(blk.Term.Then)
+			blk.Term.Else = redirect(blk.Term.Else)
+		}
+	}
+	// DFS for reachability and postorder.
+	var post []*Block
+	visited := map[*Block]bool{}
+	var dfs func(*Block)
+	dfs = func(blk *Block) {
+		if visited[blk] {
+			return
+		}
+		visited[blk] = true
+		for _, s := range blk.Succs() {
+			dfs(s)
+		}
+		post = append(post, blk)
+	}
+	dfs(g.Entry)
+	// Reverse postorder.
+	g.Blocks = g.Blocks[:0]
+	for i := len(post) - 1; i >= 0; i-- {
+		blk := post[i]
+		blk.RPO = len(g.Blocks)
+		blk.ID = len(g.Blocks)
+		blk.Preds = nil
+		g.Blocks = append(g.Blocks, blk)
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs() {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+}
+
+// Analyze computes dominators, natural loops, and the hyperblock
+// partition.
+func (g *Graph) Analyze() error {
+	g.computeDominators()
+	if err := g.findLoops(); err != nil {
+		return err
+	}
+	g.partitionHyperblocks()
+	return nil
+}
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm.
+func (g *Graph) computeDominators() {
+	g.Entry.Idom = g.Entry
+	changed := true
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for a.RPO > b.RPO {
+				a = a.Idom
+			}
+			for b.RPO > a.RPO {
+				b = b.Idom
+			}
+		}
+		return a
+	}
+	for changed {
+		changed = false
+		for _, blk := range g.Blocks {
+			if blk == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range blk.Preds {
+				if p.Idom == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && blk.Idom != newIdom {
+				blk.Idom = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// Dominates reports whether a dominates b.
+func Dominates(a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b.Idom == nil || b.Idom == b {
+			return false
+		}
+		b = b.Idom
+	}
+}
+
+// findLoops identifies natural loops from back edges (edges whose target
+// dominates their source). Loops sharing a header are merged. Irreducible
+// graphs cannot arise from structured cMinor, so a back edge to a
+// non-dominating target is an internal error.
+func (g *Graph) findLoops() error {
+	byHeader := map[*Block]*Loop{}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs() {
+			if s.RPO > blk.RPO {
+				continue // forward edge
+			}
+			if !Dominates(s, blk) {
+				return fmt.Errorf("cfg: irreducible back edge b%d->b%d in %s", blk.ID, s.ID, g.Fn.Name)
+			}
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[*Block]bool{s: true}}
+				byHeader[s] = l
+				g.Loops = append(g.Loops, l)
+			}
+			l.Latches = append(l.Latches, blk)
+			// Walk predecessors from the latch to collect the loop body.
+			stack := []*Block{blk}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[n] {
+					continue
+				}
+				l.Blocks[n] = true
+				for _, p := range n.Preds {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	// Sort loops by size so smaller (inner) loops come first, then set the
+	// innermost loop of each block and loop parents.
+	sort.Slice(g.Loops, func(i, j int) bool {
+		return len(g.Loops[i].Blocks) < len(g.Loops[j].Blocks)
+	})
+	for _, l := range g.Loops {
+		for blk := range l.Blocks {
+			if blk.Loop == nil {
+				blk.Loop = l
+			}
+		}
+	}
+	for _, l := range g.Loops {
+		// Parent: the innermost strictly-larger loop containing the header.
+		for _, outer := range g.Loops {
+			if outer == l || !outer.Blocks[l.Header] {
+				continue
+			}
+			if len(outer.Blocks) <= len(l.Blocks) {
+				continue
+			}
+			if l.Parent == nil || len(outer.Blocks) < len(l.Parent.Blocks) {
+				l.Parent = outer
+			}
+		}
+	}
+	for _, l := range g.Loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	return nil
+}
+
+// partitionHyperblocks assigns every block to a hyperblock: a block joins
+// its predecessors' hyperblock when all forward predecessors agree, it is
+// not a loop header, and it is in the same innermost loop as the seed;
+// otherwise it seeds a new hyperblock. Processing in reverse postorder
+// guarantees predecessors are assigned first.
+func (g *Graph) partitionHyperblocks() {
+	isBackEdge := func(from, to *Block) bool { return to.RPO <= from.RPO }
+	for _, blk := range g.Blocks {
+		isHeader := false
+		for _, p := range blk.Preds {
+			if isBackEdge(p, blk) {
+				isHeader = true
+			}
+		}
+		var home *Hyperblock
+		if !isHeader && blk != g.Entry {
+			for _, p := range blk.Preds {
+				if p.Hyper == nil {
+					home = nil
+					break
+				}
+				if home == nil {
+					home = p.Hyper
+				} else if home != p.Hyper {
+					home = nil
+					break
+				}
+			}
+			if home != nil && home.Loop != blk.Loop {
+				home = nil
+			}
+		}
+		if home == nil {
+			home = &Hyperblock{
+				ID:           len(g.Hypers),
+				Seed:         blk,
+				Loop:         blk.Loop,
+				IsLoopHeader: isHeader,
+			}
+			g.Hypers = append(g.Hypers, home)
+		}
+		blk.Hyper = home
+		home.Blocks = append(home.Blocks, blk)
+	}
+}
+
+// String renders the CFG for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s:\n", g.Fn.Name)
+	for _, blk := range g.Blocks {
+		loop := ""
+		if blk.Loop != nil {
+			loop = fmt.Sprintf(" loop(b%d)", blk.Loop.Header.ID)
+		}
+		fmt.Fprintf(&sb, "  b%d [hyper %d%s]:\n", blk.ID, blk.Hyper.ID, loop)
+		for _, in := range blk.Instrs {
+			if in.LHS != nil {
+				fmt.Fprintf(&sb, "    %s = %s\n", exprString(in.LHS), exprString(in.RHS))
+			} else {
+				fmt.Fprintf(&sb, "    %s\n", exprString(in.RHS))
+			}
+		}
+		switch blk.Term.Kind {
+		case TermGoto:
+			fmt.Fprintf(&sb, "    goto b%d\n", blk.Term.Then.ID)
+		case TermIf:
+			fmt.Fprintf(&sb, "    if %s then b%d else b%d\n",
+				exprString(blk.Term.Cond), blk.Term.Then.ID, blk.Term.Else.ID)
+		case TermRet:
+			if blk.Term.Ret != nil {
+				fmt.Fprintf(&sb, "    ret %s\n", exprString(blk.Term.Ret))
+			} else {
+				fmt.Fprintf(&sb, "    ret\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+// exprString renders an expression compactly for CFG dumps.
+func exprString(e cminor.Expr) string {
+	switch e := e.(type) {
+	case *cminor.NumberLit:
+		return fmt.Sprintf("%d", e.Val)
+	case *cminor.StringLit:
+		return fmt.Sprintf("%q", e.Value)
+	case *cminor.VarRef:
+		return e.Name
+	case *cminor.BinExpr:
+		return fmt.Sprintf("(%s %s %s)", exprString(e.L), e.Op, exprString(e.R))
+	case *cminor.UnExpr:
+		return fmt.Sprintf("%s%s", e.Op, exprString(e.X))
+	case *cminor.CondExpr:
+		return fmt.Sprintf("(%s ? %s : %s)", exprString(e.Cond), exprString(e.Then), exprString(e.Else))
+	case *cminor.IndexExpr:
+		return fmt.Sprintf("%s[%s]", exprString(e.Array), exprString(e.Index))
+	case *cminor.DerefExpr:
+		return "*" + exprString(e.X)
+	case *cminor.AddrExpr:
+		return "&" + exprString(e.X)
+	case *cminor.CastExpr:
+		return fmt.Sprintf("(%s)%s", e.To, exprString(e.X))
+	case *cminor.CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Callee, strings.Join(args, ", "))
+	case *cminor.AssignExpr:
+		return fmt.Sprintf("%s = %s", exprString(e.LHS), exprString(e.RHS))
+	}
+	return fmt.Sprintf("<%T>", e)
+}

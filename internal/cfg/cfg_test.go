@@ -1,0 +1,303 @@
+package cfg
+
+import (
+	"testing"
+
+	"spatial/internal/cminor"
+)
+
+func buildCFG(t *testing.T, src, fn string) *Graph {
+	t.Helper()
+	prog, err := cminor.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := cminor.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	f := prog.Func(fn)
+	if f == nil {
+		t.Fatalf("no function %s", fn)
+	}
+	g, err := Build(f)
+	if err != nil {
+		t.Fatalf("cfg build: %v", err)
+	}
+	return g
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildCFG(t, "int f(int a) { int b = a + 1; return b * 2; }", "f")
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1\n%s", len(g.Blocks), g)
+	}
+	if len(g.Hypers) != 1 {
+		t.Errorf("hyperblocks = %d, want 1", len(g.Hypers))
+	}
+	if len(g.Loops) != 0 {
+		t.Errorf("loops = %d, want 0", len(g.Loops))
+	}
+	if g.Blocks[0].Term.Kind != TermRet {
+		t.Errorf("terminator = %v, want ret", g.Blocks[0].Term.Kind)
+	}
+}
+
+func TestIfDiamondSingleHyperblock(t *testing.T) {
+	g := buildCFG(t, `
+int f(int a) {
+  int r;
+  if (a > 0) r = 1; else r = -1;
+  return r;
+}`, "f")
+	if len(g.Hypers) != 1 {
+		t.Fatalf("if-diamond should form one hyperblock, got %d\n%s", len(g.Hypers), g)
+	}
+	if len(g.Blocks) != 4 {
+		t.Errorf("blocks = %d, want 4", len(g.Blocks))
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := buildCFG(t, `
+int f(int a) {
+  int r = 0;
+  if (a) r = 1;
+  return r;
+}`, "f")
+	if len(g.Hypers) != 1 {
+		t.Fatalf("hyperblocks = %d, want 1\n%s", len(g.Hypers), g)
+	}
+}
+
+func TestWhileLoopStructure(t *testing.T) {
+	g := buildCFG(t, `
+int f(int n) {
+  int s = 0;
+  while (n > 0) { s = s + n; n = n - 1; }
+  return s;
+}`, "f")
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1\n%s", len(g.Loops), g)
+	}
+	l := g.Loops[0]
+	if len(l.Latches) != 1 {
+		t.Errorf("latches = %d, want 1", len(l.Latches))
+	}
+	// Three hyperblocks, like Figure 2: before-loop, loop body, after-loop.
+	if len(g.Hypers) != 3 {
+		t.Errorf("hyperblocks = %d, want 3\n%s", len(g.Hypers), g)
+	}
+	var loopHyper *Hyperblock
+	for _, h := range g.Hypers {
+		if h.IsLoopHeader {
+			loopHyper = h
+		}
+	}
+	if loopHyper == nil {
+		t.Fatal("no loop-header hyperblock")
+	}
+	if loopHyper.Loop != l {
+		t.Error("loop hyperblock not associated with the loop")
+	}
+}
+
+func TestForLoopWithBreakContinue(t *testing.T) {
+	g := buildCFG(t, `
+int f(int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    if (i == 13) continue;
+    if (s > 100) break;
+    s += i;
+  }
+  return s;
+}`, "f")
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1\n%s", len(g.Loops), g)
+	}
+	// The post-loop block must not be inside the loop hyperblock.
+	l := g.Loops[0]
+	for _, blk := range g.Blocks {
+		if blk.Term.Kind == TermRet && l.Contains(blk) {
+			t.Error("return block inside loop")
+		}
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := buildCFG(t, `
+int f(int n) {
+  int s = 0;
+  int i;
+  int j;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      s += i * j;
+    }
+  }
+  return s;
+}`, "f")
+	if len(g.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2\n%s", len(g.Loops), g)
+	}
+	inner, outer := g.Loops[0], g.Loops[1]
+	if len(inner.Blocks) > len(outer.Blocks) {
+		inner, outer = outer, inner
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop's parent is not the outer loop")
+	}
+	if inner.Depth != 2 || outer.Depth != 1 {
+		t.Errorf("depths = %d, %d; want 2, 1", inner.Depth, outer.Depth)
+	}
+	// Every block of the inner loop is also in the outer loop.
+	for blk := range inner.Blocks {
+		if !outer.Blocks[blk] {
+			t.Errorf("inner block b%d not in outer loop", blk.ID)
+		}
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	g := buildCFG(t, `
+int f(int n) {
+  int s = 0;
+  do { s += n; n--; } while (n > 0);
+  return s;
+}`, "f")
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1\n%s", len(g.Loops), g)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := buildCFG(t, `
+int f(int a) {
+  int r = 0;
+  if (a) { r = 1; } else { r = 2; }
+  if (r) { r = 3; }
+  return r;
+}`, "f")
+	entry := g.Entry
+	for _, blk := range g.Blocks {
+		if !Dominates(entry, blk) {
+			t.Errorf("entry does not dominate b%d", blk.ID)
+		}
+	}
+	// The second if's condition block dominates the return block.
+	var ret *Block
+	for _, blk := range g.Blocks {
+		if blk.Term.Kind == TermRet {
+			ret = blk
+		}
+	}
+	if ret == nil {
+		t.Fatal("no return block")
+	}
+	if Dominates(ret, entry) {
+		t.Error("return should not dominate entry")
+	}
+}
+
+func TestEarlyReturnsProduceMultipleHyperblocks(t *testing.T) {
+	// A return inside a loop leaves the loop; the return block must be in
+	// a non-loop hyperblock.
+	g := buildCFG(t, `
+int f(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if (i == 7) return i;
+  }
+  return -1;
+}`, "f")
+	for _, blk := range g.Blocks {
+		if blk.Term.Kind == TermRet && blk.Hyper.IsLoopHeader {
+			t.Error("return block placed in a loop hyperblock")
+		}
+	}
+}
+
+func TestUnreachableCodeDropped(t *testing.T) {
+	g := buildCFG(t, `
+int f(int a) {
+  return a;
+}`, "f")
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+}
+
+func TestInfiniteLoop(t *testing.T) {
+	g := buildCFG(t, `
+int x;
+void f(void) {
+  for (;;) { x = x + 1; }
+}`, "f")
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1\n%s", len(g.Loops), g)
+	}
+}
+
+func TestRPOIsTopologicalOnForwardEdges(t *testing.T) {
+	g := buildCFG(t, `
+int f(int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    if (i & 1) s += i; else s -= i;
+  }
+  return s;
+}`, "f")
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs() {
+			if s.RPO <= blk.RPO {
+				// must be a back edge: target dominates source
+				if !Dominates(s, blk) {
+					t.Errorf("edge b%d->b%d is neither forward nor a back edge", blk.ID, s.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestHyperblockBlocksAreInRPO(t *testing.T) {
+	g := buildCFG(t, `
+int f(int a, int b) {
+  int r = 0;
+  if (a) { if (b) r = 1; else r = 2; } else { r = 3; }
+  return r;
+}`, "f")
+	if len(g.Hypers) != 1 {
+		t.Fatalf("nested diamond should be one hyperblock, got %d\n%s", len(g.Hypers), g)
+	}
+	h := g.Hypers[0]
+	for i := 1; i < len(h.Blocks); i++ {
+		if h.Blocks[i].RPO <= h.Blocks[i-1].RPO {
+			t.Error("hyperblock blocks not in RPO")
+		}
+	}
+}
+
+func TestPredsConsistent(t *testing.T) {
+	g := buildCFG(t, `
+int f(int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i++) s += i;
+  return s;
+}`, "f")
+	for _, blk := range g.Blocks {
+		for _, p := range blk.Preds {
+			found := false
+			for _, s := range p.Succs() {
+				if s == blk {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("b%d lists pred b%d, but not vice versa", blk.ID, p.ID)
+			}
+		}
+	}
+}

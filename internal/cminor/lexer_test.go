@@ -1,0 +1,212 @@
+package cminor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("int x = 42;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokKwInt, TokIdent, TokAssign, TokNumber, TokSemi, TokEOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[3].Val != 42 {
+		t.Errorf("number value = %d, want 42", toks[3].Val)
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	cases := map[string]TokKind{
+		"<<=": TokShlEq, ">>=": TokShrEq, "==": TokEq, "!=": TokNe,
+		"<=": TokLe, ">=": TokGe, "<<": TokShl, ">>": TokShr,
+		"&&": TokAndAnd, "||": TokOrOr, "+=": TokPlusEq, "-=": TokMinusEq,
+		"*=": TokStarEq, "/=": TokSlashEq, "%=": TokPercentEq,
+		"&=": TokAndEq, "|=": TokOrEq, "^=": TokXorEq,
+		"++": TokPlusPlus, "--": TokMinusMinus, "?": TokQuestion, ":": TokColon,
+		"~": TokTilde,
+	}
+	for text, kind := range cases {
+		toks, err := Tokenize(text)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if len(toks) != 2 || toks[0].Kind != kind {
+			t.Errorf("%q: got %v, want %v", text, toks[0].Kind, kind)
+		}
+	}
+}
+
+func TestTokenizeMaximalMunch(t *testing.T) {
+	toks, err := Tokenize("a<<=b<<c<d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokIdent, TokShlEq, TokIdent, TokShl, TokIdent, TokLt, TokIdent, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d: got %v, want %v (%v)", i, toks[i].Kind, k, toks)
+		}
+	}
+}
+
+func TestTokenizeHex(t *testing.T) {
+	toks, err := Tokenize("0xff 0XF 0x0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []int64{255, 15, 0}
+	for i, w := range wants {
+		if toks[i].Val != w {
+			t.Errorf("hex %d: got %d, want %d", i, toks[i].Val, w)
+		}
+	}
+}
+
+func TestTokenizeSuffixes(t *testing.T) {
+	toks, err := Tokenize("10u 10UL 10L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != TokNumber || toks[i].Val != 10 {
+			t.Errorf("suffix literal %d wrong: %v", i, toks[i])
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("a // comment\n /* block\n comment */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Errorf("b line = %d, want 3", toks[1].Pos.Line)
+	}
+}
+
+func TestTokenizeCharAndString(t *testing.T) {
+	toks, err := Tokenize(`'a' '\n' '\\' "hi\tthere"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != 'a' || toks[1].Val != '\n' || toks[2].Val != '\\' {
+		t.Errorf("char literals wrong: %v", toks[:3])
+	}
+	if toks[3].Kind != TokString || toks[3].Text != "hi\tthere" {
+		t.Errorf("string literal wrong: %v", toks[3])
+	}
+}
+
+func TestTokenizePragma(t *testing.T) {
+	toks, err := Tokenize("#pragma independent p q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKwPragma {
+		t.Fatalf("got %v, want #pragma", toks[0])
+	}
+	if toks[1].Text != "independent" || toks[2].Text != "p" || toks[3].Text != "q" {
+		t.Errorf("pragma tokens wrong: %v", toks[:4])
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	bad := []string{"@", "'a", `"abc`, "/* open", "#define X", "'\\q'", "0x"}
+	for _, src := range bad {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestTokenizeKeywords(t *testing.T) {
+	toks, err := Tokenize("int unsigned char short long void if else while do for return break continue const extern static signed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokKwInt, TokKwUnsigned, TokKwChar, TokKwShort, TokKwLong, TokKwVoid,
+		TokKwIf, TokKwElse, TokKwWhile, TokKwDo, TokKwFor, TokKwReturn,
+		TokKwBreak, TokKwContinue, TokKwConst, TokKwExtern, TokKwStatic, TokKwSigned}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("keyword %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b pos = %v", toks[1].Pos)
+	}
+}
+
+// Property: any sequence of identifier characters lexes to a single token
+// (identifier or keyword) whose text round-trips.
+func TestTokenizeIdentifierRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Build a valid identifier from the raw bytes.
+		name := []byte{'v'}
+		for _, b := range raw {
+			c := byte('a' + b%26)
+			name = append(name, c)
+		}
+		toks, err := Tokenize(string(name))
+		if err != nil {
+			return false
+		}
+		return len(toks) == 2 && toks[0].Text == string(name)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decimal literals round-trip for all non-negative int32 values.
+func TestTokenizeNumberRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		if v < 0 {
+			v = -v
+		}
+		if v < 0 { // math.MinInt32
+			v = 0
+		}
+		toks, err := Tokenize(intToString(int64(v)))
+		return err == nil && toks[0].Kind == TokNumber && toks[0].Val == int64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func intToString(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

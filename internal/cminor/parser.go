@@ -1,0 +1,901 @@
+package cminor
+
+import "fmt"
+
+// Parser is a recursive-descent parser for cMinor.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a translation unit. The result is untyped; run Check to
+// resolve names and types.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) peekKind(n int) TokKind {
+	if p.pos+n >= len(p.toks) {
+		return TokEOF
+	}
+	return p.toks[p.pos+n].Kind
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *Parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case TokKwInt, TokKwUnsigned, TokKwChar, TokKwShort, TokKwLong, TokKwVoid,
+		TokKwConst, TokKwSigned:
+		return true
+	}
+	return false
+}
+
+// parseBaseType parses a type specifier (const? (unsigned|signed)?
+// (char|short|int|long|void)) followed by any number of '*'.
+func (p *Parser) parseBaseType() (*Type, error) {
+	isConst := false
+	for p.accept(TokKwConst) {
+		isConst = true
+	}
+	signed := true
+	sawSign := false
+	if p.accept(TokKwUnsigned) {
+		signed = false
+		sawSign = true
+	} else if p.accept(TokKwSigned) {
+		sawSign = true
+	}
+	var base *Type
+	switch p.cur().Kind {
+	case TokKwInt:
+		p.next()
+		base = Int
+	case TokKwChar:
+		p.next()
+		base = Char
+	case TokKwShort:
+		p.next()
+		p.accept(TokKwInt) // "short int"
+		base = Short
+	case TokKwLong:
+		p.next()
+		p.accept(TokKwInt) // "long int" — modeled as 32-bit like pisa
+		base = Int
+	case TokKwVoid:
+		p.next()
+		base = Void
+	default:
+		if sawSign {
+			base = Int // bare "unsigned"/"signed"
+		} else {
+			return nil, errf(p.cur().Pos, "expected type, found %s", p.cur())
+		}
+	}
+	t := *base
+	t.Signed = t.Kind == TypeInt && signed
+	if base.Kind != TypeInt {
+		t.Signed = false
+		if sawSign {
+			return nil, errf(p.cur().Pos, "signedness on non-integer type")
+		}
+	}
+	// const before '*' qualifies the pointee.
+	for p.accept(TokKwConst) {
+		isConst = true
+	}
+	t.Const = isConst
+	result := &t
+	for p.accept(TokStar) {
+		result = PointerTo(result)
+		for p.accept(TokKwConst) {
+			result.Const = true
+		}
+	}
+	return result, nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != TokEOF {
+		extern := false
+		static := false
+		for {
+			if p.accept(TokKwExtern) {
+				extern = true
+				continue
+			}
+			if p.accept(TokKwStatic) {
+				static = true
+				continue
+			}
+			break
+		}
+		if p.cur().Kind == TokKwPragma {
+			// File-scope pragmas are not supported; point users at
+			// function-scope placement, which is what the paper used.
+			return nil, errf(p.cur().Pos, "#pragma independent must appear inside a function body")
+		}
+		typ, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind == TokLParen {
+			fn, err := p.parseFuncRest(typ, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			if extern && fn.Body != nil {
+				return nil, errf(nameTok.Pos, "extern function %s has a body", fn.Name)
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		// One or more global variable declarators.
+		for {
+			v, err := p.parseDeclarator(typ, nameTok, extern)
+			if err != nil {
+				return nil, err
+			}
+			v.Global = true
+			v.Static = static
+			prog.Globals = append(prog.Globals, v)
+			if p.accept(TokComma) {
+				nameTok, err = p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// parseDeclarator parses the array suffix and optional initializer for a
+// variable whose base type and name are already consumed.
+func (p *Parser) parseDeclarator(typ *Type, nameTok Token, extern bool) (*VarDecl, error) {
+	v := &VarDecl{Pos: nameTok.Pos, Name: nameTok.Text, Type: typ, Extern: extern}
+	for p.cur().Kind == TokLBracket {
+		p.next()
+		if p.accept(TokRBracket) {
+			if !extern {
+				return nil, errf(nameTok.Pos, "unsized array %s requires extern", v.Name)
+			}
+			v.Type = ArrayOf(v.Type, -1)
+			continue
+		}
+		szTok, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		if szTok.Val <= 0 {
+			return nil, errf(szTok.Pos, "array %s has non-positive size %d", v.Name, szTok.Val)
+		}
+		v.Type = ArrayOf(v.Type, szTok.Val)
+	}
+	// Multidimensional arrays parse inside-out above; reverse the nesting
+	// so a[2][3] is array(2) of array(3).
+	v.Type = normalizeArrayNesting(typ, v.Type)
+	if p.accept(TokAssign) {
+		if p.cur().Kind == TokLBrace {
+			p.next()
+			for !p.accept(TokRBrace) {
+				e, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				v.InitList = append(v.InitList, e)
+				if !p.accept(TokComma) {
+					if _, err := p.expect(TokRBrace); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+		} else {
+			e, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			v.Init = e
+		}
+	}
+	return v, nil
+}
+
+// normalizeArrayNesting fixes the dimension order of multidimensional
+// arrays: parsing appends dimensions outermost-last, C wants
+// outermost-first.
+func normalizeArrayNesting(base, parsed *Type) *Type {
+	var dims []int64
+	t := parsed
+	for t.Kind == TypeArray {
+		dims = append(dims, t.Len)
+		t = t.Elem
+	}
+	if len(dims) <= 1 {
+		return parsed
+	}
+	// dims is collected outermost-parsed-first, i.e. a[2][3] yields [3 2];
+	// rebuild with the last-parsed dimension innermost.
+	result := t
+	for _, d := range dims {
+		result = ArrayOf(result, d)
+	}
+	return result
+}
+
+func (p *Parser) parseFuncRest(ret *Type, nameTok Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Pos: nameTok.Pos, Name: nameTok.Text, Ret: ret}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if !p.accept(TokRParen) {
+		if p.cur().Kind == TokKwVoid && p.peekKind(1) == TokRParen {
+			p.next()
+			p.next()
+		} else {
+			for {
+				ptyp, err := p.parseBaseType()
+				if err != nil {
+					return nil, err
+				}
+				pname, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				// Array parameters decay to pointers.
+				for p.cur().Kind == TokLBracket {
+					p.next()
+					if p.cur().Kind == TokNumber {
+						p.next()
+					}
+					if _, err := p.expect(TokRBracket); err != nil {
+						return nil, err
+					}
+					ptyp = PointerTo(ptyp)
+				}
+				fn.Params = append(fn.Params, &VarDecl{
+					Pos: pname.Pos, Name: pname.Text, Type: ptyp, IsParam: true,
+				})
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.accept(TokSemi) {
+		return fn, nil // prototype
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	open, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: open.Pos}
+	for !p.accept(TokRBrace) {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(open.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokSemi:
+		p.next()
+		return &EmptyStmt{Pos: tok.Pos}, nil
+	case TokKwIf:
+		return p.parseIf()
+	case TokKwWhile:
+		return p.parseWhile()
+	case TokKwDo:
+		return p.parseDoWhile()
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwReturn:
+		p.next()
+		if p.accept(TokSemi) {
+			return &ReturnStmt{Pos: tok.Pos}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: tok.Pos, X: e}, nil
+	case TokKwBreak:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: tok.Pos}, nil
+	case TokKwContinue:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: tok.Pos}, nil
+	case TokKwPragma:
+		return p.parsePragma()
+	}
+	if p.isTypeStart() {
+		return p.parseDeclStmt()
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: tok.Pos, X: e}, nil
+}
+
+func (p *Parser) parsePragma() (Stmt, error) {
+	tok := p.next() // #pragma
+	kw, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if kw.Text != "independent" {
+		return nil, errf(kw.Pos, "unsupported pragma %q (only `independent` is recognized)", kw.Text)
+	}
+	a, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon for symmetry with statements.
+	p.accept(TokSemi)
+	return &PragmaStmt{Pos: tok.Pos, Pragma: IndependentPragma{Pos: tok.Pos, A: a.Text, B: b.Text}}, nil
+}
+
+// parseDeclStmt parses `type declarator (, declarator)* ;` and returns a
+// BlockStmt when more than one variable is declared, so callers always get
+// a single statement.
+func (p *Parser) parseDeclStmt() (Stmt, error) {
+	typ, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	var decls []Stmt
+	for {
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		// Each declarator may add its own pointer stars in C; our subset
+		// binds '*' to the base type, which covers the benchmark sources.
+		v, err := p.parseDeclarator(typ, nameTok, false)
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, &DeclStmt{Pos: nameTok.Pos, Var: v})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &BlockStmt{Pos: decls[0].(*DeclStmt).Pos, Stmts: decls}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	tok := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	var els Stmt
+	if p.accept(TokKwElse) {
+		els, err = p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{Pos: tok.Pos, Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	tok := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: tok.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseDoWhile() (Stmt, error) {
+	tok := p.next()
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &DoWhileStmt{Pos: tok.Pos, Body: body, Cond: cond}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	tok := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{Pos: tok.Pos}
+	if !p.accept(TokSemi) {
+		if p.isTypeStart() {
+			init, err := p.parseDeclStmt()
+			if err != nil {
+				return nil, err
+			}
+			f.Init = init
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Init = &ExprStmt{Pos: e.Position(), X: e}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.accept(TokSemi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = cond
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	if !p.accept(TokRParen) {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = post
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// --- Expressions (precedence climbing) ---
+
+// parseExpr parses a full expression including the comma-free assignment
+// grammar used by cMinor (the comma operator is not supported).
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+var compoundOps = map[TokKind]BinOpKind{
+	TokPlusEq: OpAdd, TokMinusEq: OpSub, TokStarEq: OpMul,
+	TokSlashEq: OpDiv, TokPercentEq: OpRem,
+	TokShlEq: OpShl, TokShrEq: OpShr,
+	TokAndEq: OpAnd, TokOrEq: OpOr, TokXorEq: OpXor,
+}
+
+func (p *Parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	tok := p.cur()
+	if tok.Kind == TokAssign {
+		p.next()
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Pos: tok.Pos, LHS: lhs, RHS: rhs}, nil
+	}
+	if op, ok := compoundOps[tok.Kind]; ok {
+		p.next()
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		// lv op= rhs desugars to lv = lv op rhs. Aliasing is not a concern:
+		// the lvalue is syntactically identical so it denotes the same
+		// object, and cMinor expressions have no sequencing side effects
+		// left after normalization.
+		return &AssignExpr{
+			Pos: tok.Pos,
+			LHS: lhs,
+			RHS: &BinExpr{Pos: tok.Pos, Op: op, L: cloneExpr(lhs), R: rhs},
+		}, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokQuestion) {
+		return cond, nil
+	}
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Pos: cond.Position(), Cond: cond, Then: then, Else: els}, nil
+}
+
+// binLevels lists binary operators from lowest to highest precedence.
+var binLevels = [][]struct {
+	tok TokKind
+	op  BinOpKind
+}{
+	{{TokOrOr, OpLogOr}},
+	{{TokAndAnd, OpLogAnd}},
+	{{TokOr, OpOr}},
+	{{TokXor, OpXor}},
+	{{TokAnd, OpAnd}},
+	{{TokEq, OpEq}, {TokNe, OpNe}},
+	{{TokLt, OpLt}, {TokLe, OpLe}, {TokGt, OpGt}, {TokGe, OpGe}},
+	{{TokShl, OpShl}, {TokShr, OpShr}},
+	{{TokPlus, OpAdd}, {TokMinus, OpSub}},
+	{{TokStar, OpMul}, {TokSlash, OpDiv}, {TokPercent, OpRem}},
+}
+
+func (p *Parser) parseBinary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, cand := range binLevels[level] {
+			if p.cur().Kind == cand.tok {
+				tok := p.next()
+				rhs, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &BinExpr{Pos: tok.Pos, Op: cand.op, L: lhs, R: rhs}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: tok.Pos, Op: OpNeg, X: x}, nil
+	case TokNot:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: tok.Pos, Op: OpNot, X: x}, nil
+	case TokTilde:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: tok.Pos, Op: OpBitNot, X: x}, nil
+	case TokStar:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &DerefExpr{Pos: tok.Pos, X: x}, nil
+	case TokAnd:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &AddrExpr{Pos: tok.Pos, X: x}, nil
+	case TokPlusPlus, TokMinusMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDecExpr{Pos: tok.Pos, X: x, Decr: tok.Kind == TokMinusMinus, Prefix: true}, nil
+	case TokPlus:
+		p.next()
+		return p.parseUnary()
+	case TokLParen:
+		// Either a cast or a parenthesized expression.
+		if p.isTypeStartAt(1) {
+			p.next()
+			to, err := p.parseBaseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Pos: tok.Pos, To: to, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) isTypeStartAt(n int) bool {
+	switch p.peekKind(n) {
+	case TokKwInt, TokKwUnsigned, TokKwChar, TokKwShort, TokKwLong, TokKwVoid,
+		TokKwConst, TokKwSigned:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok := p.cur()
+		switch tok.Kind {
+		case TokLBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Pos: tok.Pos, Array: x, Index: idx}
+		case TokPlusPlus, TokMinusMinus:
+			p.next()
+			x = &IncDecExpr{Pos: tok.Pos, X: x, Decr: tok.Kind == TokMinusMinus}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokNumber:
+		p.next()
+		return &NumberLit{Pos: tok.Pos, Val: tok.Val, Typ: Int}, nil
+	case TokChar:
+		p.next()
+		return &NumberLit{Pos: tok.Pos, Val: tok.Val, Typ: Int}, nil
+	case TokString:
+		p.next()
+		return &StringLit{Pos: tok.Pos, Value: tok.Text}, nil
+	case TokIdent:
+		p.next()
+		if p.cur().Kind == TokLParen {
+			p.next()
+			call := &CallExpr{Pos: tok.Pos, Callee: tok.Text}
+			if !p.accept(TokRParen) {
+				for {
+					arg, err := p.parseAssignExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &VarRef{Pos: tok.Pos, Name: tok.Text}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(tok.Pos, "expected expression, found %s", tok)
+}
+
+// cloneExpr deep-copies an (untyped) expression tree. It is used when
+// desugaring compound assignments, where the lvalue appears twice.
+func cloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *NumberLit:
+		c := *e
+		return &c
+	case *StringLit:
+		c := *e
+		return &c
+	case *VarRef:
+		c := *e
+		return &c
+	case *BinExpr:
+		c := *e
+		c.L, c.R = cloneExpr(e.L), cloneExpr(e.R)
+		return &c
+	case *UnExpr:
+		c := *e
+		c.X = cloneExpr(e.X)
+		return &c
+	case *CondExpr:
+		c := *e
+		c.Cond, c.Then, c.Else = cloneExpr(e.Cond), cloneExpr(e.Then), cloneExpr(e.Else)
+		return &c
+	case *IndexExpr:
+		c := *e
+		c.Array, c.Index = cloneExpr(e.Array), cloneExpr(e.Index)
+		return &c
+	case *DerefExpr:
+		c := *e
+		c.X = cloneExpr(e.X)
+		return &c
+	case *AddrExpr:
+		c := *e
+		c.X = cloneExpr(e.X)
+		return &c
+	case *CastExpr:
+		c := *e
+		c.X = cloneExpr(e.X)
+		return &c
+	case *CallExpr:
+		c := *e
+		c.Args = make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			c.Args[i] = cloneExpr(a)
+		}
+		return &c
+	case *AssignExpr:
+		c := *e
+		c.LHS, c.RHS = cloneExpr(e.LHS), cloneExpr(e.RHS)
+		return &c
+	case *IncDecExpr:
+		c := *e
+		c.X = cloneExpr(e.X)
+		return &c
+	}
+	panic(fmt.Sprintf("cloneExpr: unknown expression %T", e))
+}

@@ -1,0 +1,171 @@
+// Package cminor implements the front end for the C subset compiled by
+// CASH: a lexer, a recursive-descent parser, and a type checker. The
+// subset ("cMinor") covers the features the Pegasus memory optimizations
+// exercise: integers of several widths, pointers, arrays, all C control
+// flow except goto/switch, function calls, and the `#pragma independent`
+// annotation from the paper (Section 7.1).
+package cminor
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds. Single-character operators use their ASCII value is not
+// done here; every kind is a distinct enumerator so switches are exhaustive.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokChar   // 'c'
+	TokString // "..."
+
+	// Keywords.
+	TokKwInt
+	TokKwUnsigned
+	TokKwChar
+	TokKwShort
+	TokKwLong
+	TokKwVoid
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwDo
+	TokKwFor
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+	TokKwConst
+	TokKwExtern
+	TokKwStatic
+	TokKwSigned
+	TokKwPragma // the word "independent" after #pragma is parsed specially
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokQuestion
+	TokColon
+
+	TokAssign     // =
+	TokPlusEq     // +=
+	TokMinusEq    // -=
+	TokStarEq     // *=
+	TokSlashEq    // /=
+	TokPercentEq  // %=
+	TokShlEq      // <<=
+	TokShrEq      // >>=
+	TokAndEq      // &=
+	TokOrEq       // |=
+	TokXorEq      // ^=
+	TokPlusPlus   // ++
+	TokMinusMinus // --
+
+	TokOrOr    // ||
+	TokAndAnd  // &&
+	TokOr      // |
+	TokXor     // ^
+	TokAnd     // &
+	TokEq      // ==
+	TokNe      // !=
+	TokLt      // <
+	TokGt      // >
+	TokLe      // <=
+	TokGe      // >=
+	TokShl     // <<
+	TokShr     // >>
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokNot     // !
+	TokTilde   // ~
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
+	TokChar: "char literal", TokString: "string literal",
+	TokKwInt: "int", TokKwUnsigned: "unsigned", TokKwChar: "char",
+	TokKwShort: "short", TokKwLong: "long",
+	TokKwVoid: "void", TokKwIf: "if", TokKwElse: "else",
+	TokKwWhile: "while", TokKwDo: "do", TokKwFor: "for",
+	TokKwReturn: "return", TokKwBreak: "break", TokKwContinue: "continue",
+	TokKwConst: "const", TokKwExtern: "extern", TokKwStatic: "static",
+	TokKwSigned: "signed", TokKwPragma: "#pragma",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokSemi: ";", TokComma: ",",
+	TokQuestion: "?", TokColon: ":",
+	TokAssign: "=", TokPlusEq: "+=", TokMinusEq: "-=", TokStarEq: "*=",
+	TokSlashEq: "/=", TokPercentEq: "%=", TokShlEq: "<<=", TokShrEq: ">>=",
+	TokAndEq: "&=", TokOrEq: "|=", TokXorEq: "^=",
+	TokPlusPlus: "++", TokMinusMinus: "--",
+	TokOrOr: "||", TokAndAnd: "&&", TokOr: "|", TokXor: "^", TokAnd: "&",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokGt: ">", TokLe: "<=", TokGe: ">=",
+	TokShl: "<<", TokShr: ">>", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokNot: "!", TokTilde: "~",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"int": TokKwInt, "unsigned": TokKwUnsigned, "char": TokKwChar,
+	"short": TokKwShort, "long": TokKwLong,
+	"void": TokKwVoid, "if": TokKwIf, "else": TokKwElse,
+	"while": TokKwWhile, "do": TokKwDo, "for": TokKwFor,
+	"return": TokKwReturn, "break": TokKwBreak, "continue": TokKwContinue,
+	"const": TokKwConst, "extern": TokKwExtern, "static": TokKwStatic,
+	"signed": TokKwSigned,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string // identifier or literal spelling
+	Val  int64  // numeric value for TokNumber/TokChar
+}
+
+// String formats the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokNumber, TokString:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

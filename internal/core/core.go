@@ -1,0 +1,140 @@
+// Package core is the public façade of the spatial-computation library:
+// it wires the front end, the Pegasus builder, the optimizer, and the two
+// execution engines into a small high-level API.
+//
+// The typical flow:
+//
+//	cp, err := core.CompileSource(src, core.Options{Level: opt.Full})
+//	res, err := cp.Run("bench", nil)
+//	seq, err := cp.RunSequential("bench", nil)
+//
+// CompileSource produces a Compiled program holding the optimized Pegasus
+// graphs; Run executes it on the self-timed dataflow simulator (spatial
+// computation), RunSequential on the in-order interpreter baseline.
+package core
+
+import (
+	"fmt"
+
+	"spatial/internal/build"
+	"spatial/internal/cminor"
+	"spatial/internal/dataflow"
+	"spatial/internal/interp"
+	"spatial/internal/memsys"
+	"spatial/internal/opt"
+	"spatial/internal/pegasus"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Level selects the optimization preset; use Passes to override
+	// individual passes instead.
+	Level opt.Level
+	// Passes, when non-nil, overrides Level with per-pass toggles.
+	Passes *opt.Options
+}
+
+// Compiled is a fully compiled program.
+type Compiled struct {
+	Program *pegasus.Program
+	Source  *cminor.Program
+	Level   opt.Level
+}
+
+// CompileSource parses, checks, builds, and optimizes a cMinor program.
+func CompileSource(src string, o Options) (*Compiled, error) {
+	prog, err := cminor.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := cminor.Check(prog); err != nil {
+		return nil, err
+	}
+	p, err := build.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	passes := opt.LevelOptions(o.Level)
+	if o.Passes != nil {
+		passes = *o.Passes
+	}
+	if err := opt.Optimize(p, passes); err != nil {
+		return nil, err
+	}
+	return &Compiled{Program: p, Source: prog, Level: o.Level}, nil
+}
+
+// SimConfig configures a spatial execution.
+type SimConfig = dataflow.Config
+
+// SimResult is the outcome of a spatial execution.
+type SimResult = dataflow.Result
+
+// DefaultSim returns the default simulation configuration (dual-ported
+// perfect memory, one-place edges).
+func DefaultSim() SimConfig { return dataflow.DefaultConfig() }
+
+// PerfectMemory returns the idealized memory configuration.
+func PerfectMemory() memsys.Config { return memsys.PerfectConfig() }
+
+// PaperMemory returns the realistic memory system of the paper's
+// Section 7.3 with the given port count.
+func PaperMemory(ports int) memsys.Config { return memsys.PaperConfig(ports) }
+
+// Run executes entry(args...) on the dataflow (spatial) simulator with
+// the default configuration.
+func (c *Compiled) Run(entry string, args []int64) (*SimResult, error) {
+	return dataflow.Run(c.Program, entry, args, dataflow.DefaultConfig())
+}
+
+// RunWith executes with an explicit simulator configuration.
+func (c *Compiled) RunWith(entry string, args []int64, cfg SimConfig) (*SimResult, error) {
+	return dataflow.Run(c.Program, entry, args, cfg)
+}
+
+// RunSequential executes on the in-order AST interpreter (the sequential
+// baseline) and returns its result.
+func (c *Compiled) RunSequential(entry string, args []int64) (*interp.Result, error) {
+	return interp.New(c.Program, memsys.PerfectConfig()).Run(entry, args)
+}
+
+// Graph returns the Pegasus graph of a function.
+func (c *Compiled) Graph(name string) *pegasus.Graph { return c.Program.Graph(name) }
+
+// Dump renders the named function's Pegasus graph as text.
+func (c *Compiled) Dump(name string) (string, error) {
+	g := c.Program.Graph(name)
+	if g == nil {
+		return "", fmt.Errorf("core: no function %q", name)
+	}
+	return g.Dump(), nil
+}
+
+// Dot renders the named function's Pegasus graph in Graphviz format.
+func (c *Compiled) Dot(name string) (string, error) {
+	g := c.Program.Graph(name)
+	if g == nil {
+		return "", fmt.Errorf("core: no function %q", name)
+	}
+	return g.Dot(), nil
+}
+
+// StaticMemOps counts the live loads and stores across all functions.
+func (c *Compiled) StaticMemOps() (loads, stores int) {
+	for _, g := range c.Program.Funcs {
+		l, s := g.CountMemOps()
+		loads += l
+		stores += s
+	}
+	return
+}
+
+// Verify re-checks every graph's structural invariants.
+func (c *Compiled) Verify() error {
+	for name, g := range c.Program.Funcs {
+		if err := g.Verify(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"spatial/internal/opt"
+)
+
+const demo = `
+int data[32];
+int process(int n) {
+  int i;
+  int s = 0;
+  for (i = 0; i < n; i++) data[i] = i * 2;
+  for (i = 0; i < n; i++) s += data[i];
+  return s;
+}`
+
+func TestCompileAndRun(t *testing.T) {
+	cp, err := CompileSource(demo, Options{Level: opt.Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cp.Run("process", []int64{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 992 {
+		t.Errorf("process(32) = %d, want 992", res.Value)
+	}
+	seq, err := cp.RunSequential("process", []int64{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Value != res.Value {
+		t.Errorf("sequential %d != spatial %d", seq.Value, res.Value)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := CompileSource("int f( {", Options{}); err == nil {
+		t.Error("parse error not reported")
+	}
+	if _, err := CompileSource("int f(void) { return g; }", Options{}); err == nil {
+		t.Error("check error not reported")
+	}
+}
+
+func TestCustomPasses(t *testing.T) {
+	passes := opt.LevelOptions(opt.Full)
+	passes.LoadAfterStore = false
+	cp, err := CompileSource(`int g; int f(int x) { g = x; return g; }`,
+		Options{Passes: &passes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, _ := cp.StaticMemOps()
+	if loads != 1 {
+		t.Errorf("load-after-store disabled but load count = %d", loads)
+	}
+	res, err := cp.Run("f", []int64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 9 {
+		t.Errorf("f(9) = %d", res.Value)
+	}
+}
+
+func TestDumpAndDot(t *testing.T) {
+	cp, err := CompileSource(demo, Options{Level: opt.Medium})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cp.Dump("process")
+	if err != nil || !strings.Contains(d, "hyper") {
+		t.Errorf("dump: %v\n%s", err, d)
+	}
+	dot, err := cp.Dot("process")
+	if err != nil || !strings.Contains(dot, "digraph") {
+		t.Errorf("dot: %v", err)
+	}
+	if _, err := cp.Dump("missing"); err == nil {
+		t.Error("missing function accepted")
+	}
+}
+
+func TestRunWithMemoryConfigs(t *testing.T) {
+	cp, err := CompileSource(demo, Options{Level: opt.Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSim()
+	cfg.Mem = PaperMemory(1)
+	res, err := cp.RunWith("process", []int64{32}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 992 {
+		t.Errorf("value = %d", res.Value)
+	}
+}
+
+func TestVerifyPost(t *testing.T) {
+	cp, err := CompileSource(demo, Options{Level: opt.Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Verify(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,489 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"spatial/internal/cminor"
+	"spatial/internal/memsys"
+	"spatial/internal/pegasus"
+)
+
+// Operation latencies in cycles, mirroring a SimpleScalar pisa pipeline
+// (paper Section 7.3: "each operation has the same latency as in a pisa
+// architecture SimpleScalar simulator").
+func opLatency(n *pegasus.Node) int64 {
+	switch n.Kind {
+	case pegasus.KBinOp:
+		switch n.BinOp {
+		case cminor.OpMul:
+			return 3
+		case cminor.OpDiv, cminor.OpRem:
+			return 20
+		default:
+			return 1
+		}
+	case pegasus.KMerge:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// tryFire attempts to fire a node instance, repeating while it remains
+// firable (queued inputs can enable several firings at the same cycle).
+func (m *machine) tryFire(a *activation, n *pegasus.Node) {
+	for m.fireOnce(a, n) {
+	}
+}
+
+// fireOnce checks firability and executes a single firing. It returns
+// true when the node fired.
+func (m *machine) fireOnce(a *activation, n *pegasus.Node) bool {
+	if a.done || a.gi.static[n.ID] || n.Dead {
+		return false
+	}
+	if a.gi.dynIns[n.ID] == 0 && n.Kind != pegasus.KEntryTok {
+		// No wave signal: fire exactly once per activation.
+		st := m.state(a, n)
+		if st.firedOnce {
+			return false
+		}
+		fired := m.dispatch(a, n)
+		if fired {
+			st.firedOnce = true
+		}
+		return fired
+	}
+	return m.dispatch(a, n)
+}
+
+func (m *machine) dispatch(a *activation, n *pegasus.Node) bool {
+	switch n.Kind {
+	case pegasus.KMerge:
+		return m.fireMerge(a, n)
+	case pegasus.KEta:
+		return m.fireEta(a, n)
+	case pegasus.KTokenGen:
+		return m.fireTokenGen(a, n)
+	case pegasus.KLoad, pegasus.KStore:
+		return m.fireMemOp(a, n)
+	case pegasus.KCall:
+		return m.fireCall(a, n)
+	case pegasus.KReturn:
+		return m.fireReturn(a, n)
+	case pegasus.KEntryTok:
+		return false // fired once at activation start
+	default:
+		return m.fireSimple(a, n)
+	}
+}
+
+// allInputsReady checks every declared input.
+func (m *machine) allInputsReady(a *activation, n *pegasus.Node) bool {
+	ready := true
+	n.EachInput(func(r *pegasus.Ref, cls pegasus.Port, idx int) {
+		if ready && !m.inputReady(a, n, cls, idx, *r) {
+			ready = false
+		}
+	})
+	return ready
+}
+
+// consumeAll consumes every input, returning values per port class.
+func (m *machine) consumeAll(a *activation, n *pegasus.Node) (ins, preds, toks []int64) {
+	ins = make([]int64, len(n.Ins))
+	preds = make([]int64, len(n.Preds))
+	toks = make([]int64, len(n.Toks))
+	for i, r := range n.Ins {
+		ins[i] = m.inputValue(a, n, pegasus.PortIn, i, r)
+	}
+	for i, r := range n.Preds {
+		preds[i] = m.inputValue(a, n, pegasus.PortPred, i, r)
+	}
+	for i, r := range n.Toks {
+		toks[i] = m.inputValue(a, n, pegasus.PortTok, i, r)
+	}
+	return
+}
+
+// fireSimple handles pure computational nodes (binop, unop, conv, mux,
+// combine).
+func (m *machine) fireSimple(a *activation, n *pegasus.Node) bool {
+	if !m.allInputsReady(a, n) {
+		return false
+	}
+	outKind := pegasus.OutValue
+	if !n.HasValue() && n.HasToken() {
+		outKind = pegasus.OutToken
+	}
+	if !m.capacityFree(a, n, outKind) {
+		return false
+	}
+	ins, preds, _ := m.consumeAll(a, n)
+	m.stats.OpsFired++
+	m.profile.record(n)
+	t := m.now + opLatency(n)
+	switch n.Kind {
+	case pegasus.KBinOp:
+		v, err := cminor.EvalBinOp(n.BinOp, ins[0], ins[1], n.Unsigned)
+		if err != nil {
+			v = 0 // hardware semantics: division by zero yields 0
+		}
+		m.emit(a, n, pegasus.OutValue, v, t)
+	case pegasus.KUnOp:
+		m.emit(a, n, pegasus.OutValue, evalUnOp(n.UnOp, ins[0]), t)
+	case pegasus.KConv:
+		m.emit(a, n, pegasus.OutValue, convValue(ins[0], n.ToBits, n.ConvSign), t)
+	case pegasus.KMux:
+		v := int64(0)
+		for i, p := range preds {
+			if p != 0 {
+				v = ins[i]
+				break
+			}
+		}
+		m.emit(a, n, pegasus.OutValue, v, t)
+	case pegasus.KCombine:
+		m.emit(a, n, pegasus.OutToken, 1, t)
+	case pegasus.KReturn:
+		panic("unreachable")
+	default:
+		panic(fmt.Sprintf("fireSimple: %s", n))
+	}
+	return true
+}
+
+func evalUnOp(op pegasus.UnOpKind, x int64) int64 {
+	switch op {
+	case pegasus.UNeg:
+		return int64(int32(-x))
+	case pegasus.UNot:
+		if x == 0 {
+			return 1
+		}
+		return 0
+	case pegasus.UBitNot:
+		return int64(int32(^x))
+	case pegasus.UBool:
+		if x != 0 {
+			return 1
+		}
+		return 0
+	}
+	panic("bad unop")
+}
+
+func convValue(v int64, bits int, signed bool) int64 {
+	switch {
+	case bits == 8 && signed:
+		return int64(int8(v))
+	case bits == 8:
+		return int64(uint8(v))
+	case bits == 16 && signed:
+		return int64(int16(v))
+	case bits == 16:
+		return int64(uint16(v))
+	default:
+		return int64(int32(v))
+	}
+}
+
+// fireMerge forwards whichever input has arrived (one per firing).
+func (m *machine) fireMerge(a *activation, n *pegasus.Node) bool {
+	outKind := pegasus.OutValue
+	srcs := n.Ins
+	cls := pegasus.PortIn
+	if n.TokenOnly {
+		outKind = pegasus.OutToken
+		srcs = n.Toks
+		cls = pegasus.PortTok
+	}
+	if !m.capacityFree(a, n, outKind) {
+		return false
+	}
+	for i, r := range srcs {
+		if a.gi.static[r.N.ID] {
+			// Static merge inputs would fire unboundedly; the builder
+			// never creates them (merge inputs are etas).
+			continue
+		}
+		if m.has(a, n, port{cls, i}) {
+			v := m.consume(a, n, port{cls, i})
+			m.stats.OpsFired++
+			m.profile.record(n)
+			m.emit(a, n, outKind, v, m.now+opLatency(n))
+			return true
+		}
+	}
+	return false
+}
+
+// fireEta forwards its input when the predicate is true, and quietly
+// consumes it otherwise.
+func (m *machine) fireEta(a *activation, n *pegasus.Node) bool {
+	cls := pegasus.PortIn
+	outKind := pegasus.OutValue
+	if n.TokenOnly {
+		cls = pegasus.PortTok
+		outKind = pegasus.OutToken
+	}
+	if !m.inputReady(a, n, pegasus.PortPred, 0, n.Preds[0]) {
+		return false
+	}
+	var dataRef pegasus.Ref
+	if n.TokenOnly {
+		dataRef = n.Toks[0]
+	} else {
+		dataRef = n.Ins[0]
+	}
+	if !m.inputReady(a, n, cls, 0, dataRef) {
+		return false
+	}
+	// Peek the predicate: only a true predicate needs output capacity.
+	var predVal int64
+	if a.gi.static[n.Preds[0].N.ID] {
+		predVal = m.staticValue(a, n.Preds[0])
+	} else {
+		predVal = m.peek(a, n, port{pegasus.PortPred, 0})
+	}
+	if predVal != 0 && !m.capacityFree(a, n, outKind) {
+		return false
+	}
+	m.inputValue(a, n, pegasus.PortPred, 0, n.Preds[0]) // consume pred
+	v := m.inputValue(a, n, cls, 0, dataRef)            // consume data
+	m.stats.OpsFired++
+	m.profile.record(n)
+	if predVal != 0 {
+		m.emit(a, n, outKind, v, m.now+opLatency(n))
+	}
+	return true
+}
+
+// fireTokenGen implements tk(n) (paper Section 6.3): token receipts
+// increment the credit counter; a true predicate emits a token when
+// credit is available; a false predicate (loop exit) resets the counter.
+func (m *machine) fireTokenGen(a *activation, n *pegasus.Node) bool {
+	st := m.state(a, n)
+	// Absorb token inputs eagerly.
+	if m.has(a, n, port{pegasus.PortTok, 0}) {
+		m.consume(a, n, port{pegasus.PortTok, 0})
+		st.counter++
+		m.stats.OpsFired++
+		m.profile.record(n)
+		return true
+	}
+	if !m.inputReady(a, n, pegasus.PortPred, 0, n.Preds[0]) {
+		return false
+	}
+	var predVal int64
+	if a.gi.static[n.Preds[0].N.ID] {
+		predVal = m.staticValue(a, n.Preds[0])
+	} else {
+		predVal = m.peek(a, n, port{pegasus.PortPred, 0})
+	}
+	if predVal != 0 {
+		if st.counter <= 0 {
+			return false // wait for credit from the trailing loop
+		}
+		if !m.capacityFree(a, n, pegasus.OutToken) {
+			return false
+		}
+		m.inputValue(a, n, pegasus.PortPred, 0, n.Preds[0])
+		st.counter--
+		m.stats.OpsFired++
+		m.profile.record(n)
+		m.emit(a, n, pegasus.OutToken, 1, m.now+opLatency(n))
+		return true
+	}
+	// Loop finished: reset the credit counter.
+	m.inputValue(a, n, pegasus.PortPred, 0, n.Preds[0])
+	st.counter = n.TokN
+	m.stats.OpsFired++
+	m.profile.record(n)
+	return true
+}
+
+// fireMemOp executes a load or store: a false predicate squashes the
+// access and forwards the token immediately (paper Section 3.1).
+func (m *machine) fireMemOp(a *activation, n *pegasus.Node) bool {
+	if !m.allInputsReady(a, n) {
+		return false
+	}
+	needVal := n.Kind == pegasus.KLoad && len(a.gi.valConsumers[n.ID]) > 0
+	if needVal && !m.capacityFree(a, n, pegasus.OutValue) {
+		return false
+	}
+	if !m.capacityFree(a, n, pegasus.OutToken) {
+		return false
+	}
+	ins, preds, _ := m.consumeAll(a, n)
+	m.stats.OpsFired++
+	m.profile.record(n)
+	if preds[0] == 0 {
+		// Squashed: arbitrary value, immediate token.
+		m.stats.NullMem++
+		if n.Kind == pegasus.KLoad {
+			m.emit(a, n, pegasus.OutValue, 0, m.now+1)
+		}
+		m.emit(a, n, pegasus.OutToken, 1, m.now+1)
+		return true
+	}
+	addr := uint32(ins[0])
+	if n.Kind == pegasus.KLoad {
+		m.stats.DynLoads++
+		done := m.msys.Submit(m.now, true, addr, n.Bytes)
+		v := m.readMem(addr, n.Bytes, n.VT.Signed)
+		m.emit(a, n, pegasus.OutValue, v, done)
+		m.emit(a, n, pegasus.OutToken, 1, m.now+1)
+	} else {
+		m.stats.DynStores++
+		m.msys.Submit(m.now, false, addr, n.Bytes)
+		m.writeMem(addr, n.Bytes, ins[1])
+		m.emit(a, n, pegasus.OutToken, 1, m.now+1)
+	}
+	return true
+}
+
+// fireCall instantiates the callee; a false predicate squashes it.
+func (m *machine) fireCall(a *activation, n *pegasus.Node) bool {
+	if !m.allInputsReady(a, n) {
+		return false
+	}
+	if n.HasValue() && !m.capacityFree(a, n, pegasus.OutValue) {
+		return false
+	}
+	if !m.capacityFree(a, n, pegasus.OutToken) {
+		return false
+	}
+	ins, preds, _ := m.consumeAll(a, n)
+	m.stats.OpsFired++
+	m.profile.record(n)
+	if preds[0] == 0 {
+		if n.HasValue() {
+			m.emit(a, n, pegasus.OutValue, 0, m.now+1)
+		}
+		m.emit(a, n, pegasus.OutToken, 1, m.now+1)
+		return true
+	}
+	callee := m.prog.Graph(n.Callee.Name)
+	if callee == nil {
+		panic(fmt.Sprintf("dataflow: call to unbuilt function %s", n.Callee.Name))
+	}
+	if m.nextActID >= m.cfg.MaxActivations {
+		panic("dataflow: activation limit exceeded (runaway recursion?)")
+	}
+	m.stats.Calls++
+	m.newActivation(callee, ins, n, a)
+	return true
+}
+
+// fireReturn completes an activation.
+func (m *machine) fireReturn(a *activation, n *pegasus.Node) bool {
+	if !m.allInputsReady(a, n) {
+		return false
+	}
+	ins, _, _ := m.consumeAll(a, n)
+	m.stats.OpsFired++
+	m.profile.record(n)
+	var val int64
+	if len(ins) > 0 {
+		val = ins[0]
+	}
+	a.done = true
+	m.freeFrame(a)
+	if a.retTo == nil {
+		m.mainVal = val
+		m.mainDone = true
+		return true
+	}
+	call := a.retTo
+	if call.HasValue() {
+		m.emit(a.retAct, call, pegasus.OutValue, val, m.now+1)
+	}
+	m.emit(a.retAct, call, pegasus.OutToken, 1, m.now+1)
+	return true
+}
+
+// --- memory data access ---
+
+func (m *machine) readMem(addr uint32, bytes int, signed bool) int64 {
+	if int(addr)+bytes > len(m.mem) {
+		return 0 // out-of-range reads yield 0, like an open bus
+	}
+	var raw uint32
+	for i := 0; i < bytes; i++ {
+		raw |= uint32(m.mem[addr+uint32(i)]) << (8 * i)
+	}
+	switch {
+	case bytes == 1 && signed:
+		return int64(int8(raw))
+	case bytes == 1:
+		return int64(uint8(raw))
+	case bytes == 2 && signed:
+		return int64(int16(raw))
+	case bytes == 2:
+		return int64(uint16(raw))
+	default:
+		return int64(int32(raw))
+	}
+}
+
+func (m *machine) writeMem(addr uint32, bytes int, v int64) {
+	if int(addr)+bytes > len(m.mem) {
+		return
+	}
+	for i := 0; i < bytes; i++ {
+		m.mem[addr+uint32(i)] = byte(v >> (8 * i))
+	}
+}
+
+// ReadGlobal reads a global object's memory after a simulation — used by
+// tests and the harness to check program outputs. It requires the machine
+// to be exposed; see RunInspect.
+type Inspector struct {
+	m *machine
+}
+
+// RunInspect is Run but also returns an Inspector for post-mortem memory
+// reads.
+func RunInspect(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, *Inspector, error) {
+	cfg = cfg.withDefaults()
+	g := p.Graph(entry)
+	if g == nil {
+		return nil, nil, fmt.Errorf("dataflow: no function %q", entry)
+	}
+	if len(args) != len(g.Fn.Params) {
+		return nil, nil, fmt.Errorf("dataflow: %s expects %d arguments, got %d", entry, len(g.Fn.Params), len(args))
+	}
+	m := &machine{
+		prog:       p,
+		cfg:        cfg,
+		mem:        make([]byte, p.Layout.MemSize),
+		msys:       memsys.New(cfg.Mem),
+		infos:      map[string]*graphInfo{},
+		sp:         p.Layout.StackBase,
+		freeFrames: map[uint32][]uint32{},
+		producers:  map[prodKey][]prodRef{},
+	}
+	for _, c := range p.Layout.Init {
+		m.writeMem(c.Addr, c.Size, c.Value)
+	}
+	act := m.newActivation(g, args, nil, nil)
+	m.mainAct = act
+	if err := m.run(); err != nil {
+		return nil, nil, err
+	}
+	m.stats.Cycles = m.now
+	m.stats.Mem = m.msys.Stats()
+	return &Result{Value: m.mainVal, Stats: m.stats}, &Inspector{m: m}, nil
+}
+
+// ReadWord reads a 4-byte word at an absolute simulated address.
+func (ins *Inspector) ReadWord(addr uint32) int64 { return ins.m.readMem(addr, 4, true) }
+
+// ReadBytes copies out simulated memory.
+func (ins *Inspector) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	copy(out, ins.m.mem[addr:int(addr)+n])
+	return out
+}

@@ -1,0 +1,121 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spatial/internal/memsys"
+	"spatial/internal/pegasus"
+)
+
+// Profile aggregates per-node firing counts across a simulation — the
+// spatial analogue of an instruction-frequency profile: it shows which
+// operators in the circuit are hot and how busy each was relative to the
+// total cycle count.
+type Profile struct {
+	// Fires maps node (per function) to the number of times it fired.
+	fires map[*pegasus.Node]int64
+	// ByKind accumulates firings per node kind name.
+	ByKind map[string]int64
+	cycles int64
+}
+
+func newProfile() *Profile {
+	return &Profile{fires: map[*pegasus.Node]int64{}, ByKind: map[string]int64{}}
+}
+
+func (p *Profile) record(n *pegasus.Node) {
+	if p == nil {
+		return
+	}
+	p.fires[n]++
+	p.ByKind[n.Kind.String()]++
+}
+
+// Fires returns the firing count of a node.
+func (p *Profile) Fires(n *pegasus.Node) int64 { return p.fires[n] }
+
+// HotNode is one entry of the hot-node report.
+type HotNode struct {
+	Node  *pegasus.Node
+	Count int64
+	// Utilization is the fraction of cycles the operator fired.
+	Utilization float64
+}
+
+// Hot returns the top-k most-fired nodes.
+func (p *Profile) Hot(k int) []HotNode {
+	var out []HotNode
+	for n, c := range p.fires {
+		u := 0.0
+		if p.cycles > 0 {
+			u = float64(c) / float64(p.cycles)
+		}
+		out = append(out, HotNode{Node: n, Count: c, Utilization: u})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Node.ID < out[j].Node.ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Format renders the profile.
+func (p *Profile) Format(topK int) string {
+	var sb strings.Builder
+	sb.WriteString("firing counts by kind:\n")
+	var kinds []string
+	for k := range p.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "  %-10s %10d\n", k, p.ByKind[k])
+	}
+	fmt.Fprintf(&sb, "hottest %d operators:\n", topK)
+	for _, h := range p.Hot(topK) {
+		fmt.Fprintf(&sb, "  %-24s fired %8d (%.1f%% of cycles)\n",
+			h.Node.String(), h.Count, 100*h.Utilization)
+	}
+	return sb.String()
+}
+
+// RunProfiled is Run with per-node firing profiling enabled.
+func RunProfiled(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, *Profile, error) {
+	cfg = cfg.withDefaults()
+	g := p.Graph(entry)
+	if g == nil {
+		return nil, nil, fmt.Errorf("dataflow: no function %q", entry)
+	}
+	if len(args) != len(g.Fn.Params) {
+		return nil, nil, fmt.Errorf("dataflow: %s expects %d arguments, got %d", entry, len(g.Fn.Params), len(args))
+	}
+	m := &machine{
+		prog:       p,
+		cfg:        cfg,
+		mem:        make([]byte, p.Layout.MemSize),
+		msys:       memsys.New(cfg.Mem),
+		infos:      map[string]*graphInfo{},
+		sp:         p.Layout.StackBase,
+		freeFrames: map[uint32][]uint32{},
+		producers:  map[prodKey][]prodRef{},
+		profile:    newProfile(),
+	}
+	for _, c := range p.Layout.Init {
+		m.writeMem(c.Addr, c.Size, c.Value)
+	}
+	m.mainAct = m.newActivation(g, args, nil, nil)
+	if err := m.run(); err != nil {
+		return nil, nil, err
+	}
+	m.stats.Cycles = m.now
+	m.stats.Mem = m.msys.Stats()
+	m.profile.cycles = m.now
+	return &Result{Value: m.mainVal, Stats: m.stats}, m.profile, nil
+}

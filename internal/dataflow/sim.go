@@ -1,0 +1,539 @@
+// Package dataflow executes Pegasus graphs with self-timed
+// (asynchronous-circuit) semantics, the execution model of spatial
+// computation: every operation is its own functional unit, producers
+// handshake with consumers over point-to-point edges with bounded
+// buffering, memory operations flow through a load/store queue into a
+// modeled cache hierarchy, and procedure calls instantiate the callee's
+// graph. This is the "coarse hardware simulator" of the paper's
+// Section 7.3.
+package dataflow
+
+import (
+	"container/heap"
+	"fmt"
+
+	"spatial/internal/cminor"
+	"spatial/internal/memsys"
+	"spatial/internal/pegasus"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	Mem memsys.Config
+	// EdgeCap is the per-edge buffer depth (1 = single-register wires).
+	EdgeCap int
+	// MaxCycles aborts runaway simulations.
+	MaxCycles int64
+	// MaxActivations bounds recursion/parallel call fan-out.
+	MaxActivations int
+}
+
+// DefaultConfig returns the standard simulation setup: one-place edges on
+// a dual-ported perfect memory.
+func DefaultConfig() Config {
+	return Config{Mem: memsys.PerfectConfig(), EdgeCap: 1, MaxCycles: 200_000_000, MaxActivations: 1 << 20}
+}
+
+func (c Config) withDefaults() Config {
+	if c.EdgeCap <= 0 {
+		c.EdgeCap = 1
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 200_000_000
+	}
+	if c.MaxActivations <= 0 {
+		c.MaxActivations = 1 << 20
+	}
+	return c
+}
+
+// Stats aggregates execution statistics.
+type Stats struct {
+	Cycles    int64
+	OpsFired  int64
+	DynLoads  int64 // loads executed with a true predicate
+	DynStores int64 // stores executed with a true predicate
+	NullMem   int64 // memory ops squashed by a false predicate
+	Calls     int64
+	Mem       memsys.Stats
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Value int64
+	Stats Stats
+}
+
+// port identifies one input slot of a node.
+type port struct {
+	cls pegasus.Port
+	idx int
+}
+
+// consumerEdge is one (producer output → consumer port) edge.
+type consumerEdge struct {
+	node *pegasus.Node
+	p    port
+	out  pegasus.Out
+}
+
+// graphInfo caches per-graph structures shared by all activations.
+type graphInfo struct {
+	g *pegasus.Graph
+	// consumers[out][nodeID] lists the edges fed by that node's output.
+	valConsumers [][]consumerEdge
+	tokConsumers [][]consumerEdge
+	// static[nodeID] marks nodes whose value is fixed for a whole
+	// activation: constants, parameters, object addresses, and pure
+	// computations over those. They do not handshake; consumers read them
+	// directly (in hardware they are wires from the environment).
+	static []bool
+	// dynIns[nodeID] counts dynamic inputs. A dynamic node with zero
+	// dynamic inputs has no wave signal; it fires exactly once per
+	// activation (the builder guarantees such nodes only occur in the
+	// entry hyperblock, which executes once).
+	dynIns []int
+}
+
+func buildGraphInfo(g *pegasus.Graph) *graphInfo {
+	gi := &graphInfo{
+		g:            g,
+		valConsumers: make([][]consumerEdge, g.MaxID()),
+		tokConsumers: make([][]consumerEdge, g.MaxID()),
+		static:       make([]bool, g.MaxID()),
+	}
+	// Static closure over pure ops (node inputs always precede uses in
+	// the forward DAG; iterate to a fixpoint to be order-independent).
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if n.Dead || gi.static[n.ID] {
+				continue
+			}
+			s := false
+			switch n.Kind {
+			case pegasus.KConst, pegasus.KParam, pegasus.KAddrOf:
+				s = true
+			case pegasus.KBinOp, pegasus.KUnOp, pegasus.KConv, pegasus.KMux:
+				s = true
+				n.EachInput(func(r *pegasus.Ref, cls pegasus.Port, idx int) {
+					if !r.Valid() || !gi.static[r.N.ID] {
+						s = false
+					}
+				})
+			}
+			if s {
+				gi.static[n.ID] = true
+				changed = true
+			}
+		}
+	}
+	gi.dynIns = make([]int, g.MaxID())
+	for _, n := range g.Nodes {
+		if n.Dead || gi.static[n.ID] {
+			continue
+		}
+		user := n
+		n.EachInput(func(r *pegasus.Ref, cls pegasus.Port, idx int) {
+			if !r.Valid() || gi.static[r.N.ID] {
+				return
+			}
+			gi.dynIns[user.ID]++
+			e := consumerEdge{node: user, p: port{cls, idx}, out: r.Out}
+			if r.Out == pegasus.OutToken {
+				gi.tokConsumers[r.N.ID] = append(gi.tokConsumers[r.N.ID], e)
+			} else {
+				gi.valConsumers[r.N.ID] = append(gi.valConsumers[r.N.ID], e)
+			}
+		})
+	}
+	return gi
+}
+
+// nodeState is the dynamic state of one node instance.
+type nodeState struct {
+	// latches[portKey] is a FIFO of arrived values (tokens use value 1).
+	latches map[port][]int64
+	// occ[out] counts reserved slots on this node's output edges (shared
+	// across all out-edges: the max over edges would be finer; using the
+	// sum of one counter per consumer is exact, so we track per consumer
+	// edge below).
+	occVal []int // per value-consumer edge occupancy
+	occTok []int // per token-consumer edge occupancy
+	// lastDeliver enforces in-order output delivery.
+	lastDeliverVal int64
+	lastDeliverTok int64
+	// tokgen counter
+	counter int
+	// firedOnce marks completion of zero-dynamic-input nodes.
+	firedOnce bool
+}
+
+// activation is one dynamic instance of a function.
+type activation struct {
+	id     int
+	gi     *graphInfo
+	frame  uint32
+	params []int64
+	states []*nodeState
+	done   bool
+	// parent call to complete when KReturn fires.
+	retTo  *pegasus.Node
+	retAct *activation
+	// memoized values of static nodes.
+	staticVals []int64
+	staticOK   []bool
+}
+
+func (m *machine) state(a *activation, n *pegasus.Node) *nodeState {
+	s := a.states[n.ID]
+	if s == nil {
+		s = &nodeState{
+			latches: map[port][]int64{},
+			occVal:  make([]int, len(a.gi.valConsumers[n.ID])),
+			occTok:  make([]int, len(a.gi.tokConsumers[n.ID])),
+			counter: n.TokN,
+		}
+		a.states[n.ID] = s
+	}
+	return s
+}
+
+// --- event queue ---
+
+type evKind uint8
+
+const (
+	evDeliver evKind = iota
+	evCheck
+)
+
+type event struct {
+	time int64
+	seq  int64
+	kind evKind
+	act  *activation
+	node *pegasus.Node
+	p    port
+	val  int64
+	// edge occupancy release bookkeeping: when a delivered value is
+	// consumed the producer-side occupancy must drop; we track the
+	// producer edge on the latch entry instead (see latchEntry).
+	prodAct  *activation
+	prodNode *pegasus.Node
+	prodOut  pegasus.Out
+	prodEdge int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// machine is the simulator.
+type machine struct {
+	prog   *pegasus.Program
+	cfg    Config
+	mem    []byte
+	msys   *memsys.System
+	infos  map[string]*graphInfo
+	events eventQueue
+	seq    int64
+	now    int64
+	stats  Stats
+
+	nextActID int
+	// frame allocator: free frames by size.
+	sp         uint32
+	freeFrames map[uint32][]uint32
+
+	mainAct  *activation
+	mainVal  int64
+	mainDone bool
+
+	// profile, when non-nil, records per-node firing counts.
+	profile *Profile
+
+	// latchProducer remembers, for each latched entry, which producer
+	// edge to release on consumption: keyed by (act,node,port) parallel
+	// to the latch FIFO.
+	producers map[prodKey][]prodRef
+}
+
+type prodKey struct {
+	act  *activation
+	node *pegasus.Node
+	p    port
+}
+
+type prodRef struct {
+	act  *activation
+	node *pegasus.Node
+	out  pegasus.Out
+	edge int
+}
+
+// Run executes entry(args...) on program p and returns the result value
+// and statistics.
+func Run(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, error) {
+	res, _, err := RunInspect(p, entry, args, cfg)
+	return res, err
+}
+
+func (m *machine) info(g *pegasus.Graph) *graphInfo {
+	gi, ok := m.infos[g.Name]
+	if !ok {
+		gi = buildGraphInfo(g)
+		m.infos[g.Name] = gi
+	}
+	return gi
+}
+
+func (m *machine) newActivation(g *pegasus.Graph, args []int64, retTo *pegasus.Node, retAct *activation) *activation {
+	gi := m.info(g)
+	a := &activation{
+		id:     m.nextActID,
+		gi:     gi,
+		params: args,
+		states: make([]*nodeState, g.MaxID()),
+		retTo:  retTo,
+		retAct: retAct,
+	}
+	m.nextActID++
+	a.frame = m.allocFrame(g.Fn)
+	// Fire the entry token.
+	if g.Entry != nil {
+		m.emit(a, g.Entry, pegasus.OutToken, 1, m.now+1)
+	}
+	// Seed nodes with no dynamic inputs: nothing will ever deliver to
+	// them, so check them once explicitly.
+	for _, n := range g.Nodes {
+		if !n.Dead && !gi.static[n.ID] && gi.dynIns[n.ID] == 0 && n.Kind != pegasus.KEntryTok {
+			m.push(&event{time: m.now + 1, kind: evCheck, act: a, node: n})
+		}
+	}
+	return a
+}
+
+func (m *machine) allocFrame(fn *cminor.FuncDecl) uint32 {
+	size := m.prog.Layout.FrameSize[fn]
+	if size == 0 {
+		return 0
+	}
+	if frames := m.freeFrames[size]; len(frames) > 0 {
+		f := frames[len(frames)-1]
+		m.freeFrames[size] = frames[:len(frames)-1]
+		return f
+	}
+	f := m.sp
+	m.sp += (size + 7) &^ 7
+	if m.sp >= m.prog.Layout.MemSize {
+		panic("dataflow: simulated stack overflow")
+	}
+	return f
+}
+
+func (m *machine) freeFrame(a *activation) {
+	size := m.prog.Layout.FrameSize[a.gi.g.Fn]
+	if size > 0 {
+		m.freeFrames[size] = append(m.freeFrames[size], a.frame)
+	}
+}
+
+func (m *machine) push(e *event) {
+	e.seq = m.seq
+	m.seq++
+	heap.Push(&m.events, e)
+}
+
+// emit schedules delivery of one output of (a, n) to every consumer and
+// reserves edge occupancy.
+func (m *machine) emit(a *activation, n *pegasus.Node, out pegasus.Out, val int64, t int64) {
+	st := m.state(a, n)
+	var cons []consumerEdge
+	if out == pegasus.OutToken {
+		if t < st.lastDeliverTok {
+			t = st.lastDeliverTok
+		}
+		st.lastDeliverTok = t
+		cons = a.gi.tokConsumers[n.ID]
+	} else {
+		if t < st.lastDeliverVal {
+			t = st.lastDeliverVal
+		}
+		st.lastDeliverVal = t
+		cons = a.gi.valConsumers[n.ID]
+	}
+	for i, c := range cons {
+		if out == pegasus.OutToken {
+			st.occTok[i]++
+		} else {
+			st.occVal[i]++
+		}
+		m.push(&event{
+			time: t, kind: evDeliver, act: a, node: c.node, p: c.p, val: val,
+			prodAct: a, prodNode: n, prodOut: out, prodEdge: i,
+		})
+	}
+}
+
+// capacityFree reports whether every output edge of (a,n) for `out` has a
+// free slot.
+func (m *machine) capacityFree(a *activation, n *pegasus.Node, out pegasus.Out) bool {
+	st := m.state(a, n)
+	occ := st.occVal
+	if out == pegasus.OutToken {
+		occ = st.occTok
+	}
+	for _, o := range occ {
+		if o >= m.cfg.EdgeCap {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) run() error {
+	for m.events.Len() > 0 {
+		e := heap.Pop(&m.events).(*event)
+		if e.time > m.cfg.MaxCycles {
+			return fmt.Errorf("dataflow: exceeded %d cycles (livelock or runaway loop?)", m.cfg.MaxCycles)
+		}
+		m.now = e.time
+		if e.act.done {
+			// Drop events for completed activations, releasing producer
+			// occupancy so upstream nodes in live activations are not
+			// blocked (only matters for cross-activation edges, which do
+			// not exist; safe regardless).
+			continue
+		}
+		switch e.kind {
+		case evDeliver:
+			st := m.state(e.act, e.node)
+			st.latches[e.p] = append(st.latches[e.p], e.val)
+			key := prodKey{e.act, e.node, e.p}
+			m.producers[key] = append(m.producers[key], prodRef{e.prodAct, e.prodNode, e.prodOut, e.prodEdge})
+			m.tryFire(e.act, e.node)
+		case evCheck:
+			m.tryFire(e.act, e.node)
+		}
+		if m.mainDone {
+			return nil
+		}
+	}
+	if !m.mainDone {
+		return fmt.Errorf("dataflow: deadlock at cycle %d (no events left)", m.now)
+	}
+	return nil
+}
+
+// consume pops the front of a latch, releasing the producer edge slot and
+// rechecking the producer.
+func (m *machine) consume(a *activation, n *pegasus.Node, p port) int64 {
+	st := m.state(a, n)
+	q := st.latches[p]
+	v := q[0]
+	st.latches[p] = q[1:]
+	key := prodKey{a, n, p}
+	prods := m.producers[key]
+	pr := prods[0]
+	m.producers[key] = prods[1:]
+	pst := m.state(pr.act, pr.node)
+	if pr.out == pegasus.OutToken {
+		pst.occTok[pr.edge]--
+	} else {
+		pst.occVal[pr.edge]--
+	}
+	// The producer may have been stalled on this edge.
+	m.push(&event{time: m.now, kind: evCheck, act: pr.act, node: pr.node})
+	return v
+}
+
+func (m *machine) has(a *activation, n *pegasus.Node, p port) bool {
+	return len(m.state(a, n).latches[p]) > 0
+}
+
+func (m *machine) peek(a *activation, n *pegasus.Node, p port) int64 {
+	return m.state(a, n).latches[p][0]
+}
+
+// staticValue evaluates a static node's value (memoized per activation):
+// sources directly, pure computations recursively over static inputs.
+func (m *machine) staticValue(a *activation, r pegasus.Ref) int64 {
+	n := r.N
+	if a.staticOK == nil {
+		a.staticOK = make([]bool, len(a.states))
+		a.staticVals = make([]int64, len(a.states))
+	}
+	if a.staticOK[n.ID] {
+		return a.staticVals[n.ID]
+	}
+	var v int64
+	switch n.Kind {
+	case pegasus.KConst:
+		v = n.ConstVal
+	case pegasus.KParam:
+		v = a.params[n.ParamIdx]
+	case pegasus.KAddrOf:
+		if addr, ok := m.prog.Layout.AddressOfObject(n.Obj); ok {
+			v = int64(addr)
+		} else {
+			v = int64(a.frame + m.prog.Layout.FrameOffset[n.Obj])
+		}
+	case pegasus.KBinOp:
+		l := m.staticValue(a, n.Ins[0])
+		r2 := m.staticValue(a, n.Ins[1])
+		var err error
+		v, err = cminor.EvalBinOp(n.BinOp, l, r2, n.Unsigned)
+		if err != nil {
+			v = 0
+		}
+	case pegasus.KUnOp:
+		v = evalUnOp(n.UnOp, m.staticValue(a, n.Ins[0]))
+	case pegasus.KConv:
+		v = convValue(m.staticValue(a, n.Ins[0]), n.ToBits, n.ConvSign)
+	case pegasus.KMux:
+		for i, p := range n.Preds {
+			if m.staticValue(a, p) != 0 {
+				v = m.staticValue(a, n.Ins[i])
+				break
+			}
+		}
+	default:
+		panic("staticValue on dynamic node kind " + n.Kind.String())
+	}
+	a.staticOK[n.ID] = true
+	a.staticVals[n.ID] = v
+	return v
+}
+
+// inputReady reports whether an input ref is available.
+func (m *machine) inputReady(a *activation, n *pegasus.Node, cls pegasus.Port, idx int, r pegasus.Ref) bool {
+	if a.gi.static[r.N.ID] {
+		return true
+	}
+	return m.has(a, n, port{cls, idx})
+}
+
+// inputValue fetches an input, consuming dynamic ones.
+func (m *machine) inputValue(a *activation, n *pegasus.Node, cls pegasus.Port, idx int, r pegasus.Ref) int64 {
+	if a.gi.static[r.N.ID] {
+		return m.staticValue(a, r)
+	}
+	return m.consume(a, n, port{cls, idx})
+}

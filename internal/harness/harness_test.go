@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"spatial/internal/memsys"
+	"spatial/internal/opt"
+	"spatial/internal/workloads"
+)
+
+// small returns a fast subset of workloads for test runs.
+func small() []*workloads.Workload {
+	return []*workloads.Workload{
+		workloads.ByName("adpcm_e"),
+		workloads.ByName("epic_e"),
+		workloads.ByName("g721_e"),
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.LOC <= 0 {
+			t.Errorf("%s: LOC = %d", r.Optimization, r.LOC)
+		}
+		if r.LOC > 400 {
+			t.Errorf("%s: LOC = %d — the paper's point is compactness", r.Optimization, r.LOC)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "Loop decoupling") {
+		t.Error("missing decoupling row")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Funcs < 2 || r.Lines < 20 || r.DynOps <= 0 {
+			t.Errorf("%s: implausible stats %+v", r.Name, r)
+		}
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "adpcm_e") {
+		t.Error("missing adpcm_e row")
+	}
+}
+
+func TestFig18(t *testing.T) {
+	rows, err := Fig18(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyStaticRemoved := false
+	for _, r := range rows {
+		if r.StaticLoads1 > r.StaticLoads0 || r.StaticStore1 > r.StaticStore0 {
+			t.Errorf("%s: optimization added static ops: %+v", r.Name, r)
+		}
+		if r.LoadsRemovedPct() > 0 || r.StoresRemovedPct() > 0 {
+			anyStaticRemoved = true
+		}
+		if r.DynMem1 > r.DynMem0 {
+			t.Errorf("%s: optimization added dynamic ops: %+v", r.Name, r)
+		}
+	}
+	if !anyStaticRemoved {
+		t.Error("no static memory operations removed anywhere")
+	}
+	_ = FormatFig18(rows)
+}
+
+func TestFig19SubsetShape(t *testing.T) {
+	ws := small()[:1]
+	rows, err := Fig19(ws, []opt.Level{opt.None, opt.Medium, opt.Full},
+		[]memsys.Config{memsys.PerfectConfig(), memsys.PaperConfig(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// Optimization must not slow programs down under perfect memory.
+	for _, r := range rows {
+		if r.Level != opt.None && r.Speedup < 0.99 {
+			t.Errorf("%s at %v on %s: speedup %.2f < 1", r.Name, r.Level, r.Mem, r.Speedup)
+		}
+	}
+	_ = FormatFig19(rows)
+}
+
+func TestAblationRuns(t *testing.T) {
+	rows, err := Ablation(small()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ablationConfigs()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	_ = FormatAblation(rows)
+}
+
+func TestDecouplingApplicability(t *testing.T) {
+	n, err := DecouplingApplicability(workloads.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper found decoupling applicable in only a handful of loops;
+	// the suite should have at least one and not an implausible number.
+	if n < 1 || n > 40 {
+		t.Errorf("token generators inserted = %d, want a small positive count", n)
+	}
+}
+
+func TestIRSizeStability(t *testing.T) {
+	rows, err := IRSize(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := IRSizeSpread(rows)
+	for name, pct := range spread {
+		// The paper's claim: IR size varies by at most a few percent as
+		// memory optimizations toggle. Allow a slightly wider band since
+		// our graphs are small.
+		if pct > 15 {
+			t.Errorf("%s: IR size varies %.1f%% across configurations", name, pct)
+		}
+	}
+}
+
+func TestSpatialVsSeq(t *testing.T) {
+	rows, err := SpatialVsSeq(small(), opt.Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faster := 0
+	for _, r := range rows {
+		if r.Speedup > 1 {
+			faster++
+		}
+	}
+	if faster == 0 {
+		t.Error("spatial execution never beat the sequential model")
+	}
+	_ = FormatSpatial(rows, opt.Medium)
+}

@@ -1,0 +1,106 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"spatial/internal/build"
+	"spatial/internal/cminor"
+	"spatial/internal/opt"
+	"spatial/internal/pegasus"
+)
+
+func compileAt(t *testing.T, src string, lv opt.Level) *pegasus.Program {
+	t.Helper()
+	prog, err := cminor.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cminor.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	p, err := build.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.OptimizeAt(p, lv); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEstimateBasics(t *testing.T) {
+	p := compileAt(t, `
+int f(int a, int b) { return a * b + a / b; }`, opt.Basic)
+	r := Estimate(p.Graph("f"))
+	if r.Ops["mul"] != 1 {
+		t.Errorf("mul count = %d", r.Ops["mul"])
+	}
+	if r.Ops["div"] != 1 {
+		t.Errorf("div count = %d", r.Ops["div"])
+	}
+	// A divider dominates the area.
+	if r.Area < areaDiv {
+		t.Errorf("area = %d, should include the divider", r.Area)
+	}
+	if r.MaxDepth < 2 {
+		t.Errorf("depth = %d, want >= 2 (op chain)", r.MaxDepth)
+	}
+}
+
+func TestMemPorts(t *testing.T) {
+	p := compileAt(t, `
+int a[8];
+int f(int i) { a[i] = 1; return a[i+1]; }`, opt.Medium)
+	r := Estimate(p.Graph("f"))
+	if r.MemPorts != 2 {
+		t.Errorf("mem ports = %d, want 2", r.MemPorts)
+	}
+}
+
+func TestOptimizationReducesArea(t *testing.T) {
+	src := `
+int g;
+int f(int x) {
+  g = x;
+  g = g + 1;
+  return g;
+}`
+	a0 := Estimate(compileAt(t, src, opt.None).Graph("f"))
+	a1 := Estimate(compileAt(t, src, opt.Full).Graph("f"))
+	if a1.Area >= a0.Area {
+		t.Errorf("full optimization did not shrink the circuit: %d → %d GE", a0.Area, a1.Area)
+	}
+	if a1.MemPorts >= a0.MemPorts {
+		t.Errorf("memory ports not reduced: %d → %d", a0.MemPorts, a1.MemPorts)
+	}
+}
+
+func TestDepthIgnoresBackEdges(t *testing.T) {
+	p := compileAt(t, `
+int f(int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i++) s += i;
+  return s;
+}`, opt.Medium)
+	r := Estimate(p.Graph("f"))
+	// Depth must be finite and modest: the loop body is a short chain.
+	if r.MaxDepth <= 0 || r.MaxDepth > 20 {
+		t.Errorf("depth = %d, implausible for a small loop", r.MaxDepth)
+	}
+}
+
+func TestEstimateProgramAndFormat(t *testing.T) {
+	p := compileAt(t, `
+int helper(int x) { return x * 2; }
+int main0(int x) { return helper(x) + 1; }`, opt.Full)
+	reports := EstimateProgram(p)
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	out := Format(reports)
+	if !strings.Contains(out, "helper") || !strings.Contains(out, "total") {
+		t.Errorf("format output missing rows:\n%s", out)
+	}
+}

@@ -1,0 +1,364 @@
+// Package memsys models the memory systems of the paper's evaluation
+// (Section 7.3): a load/store queue with a finite number of ports and
+// entries feeding either a perfect memory or a realistic two-level cache
+// hierarchy with a TLB. Latencies follow the paper: L1 8KB with 2-cycle
+// hits, L2 256KB with 8-cycle hits, 72-cycle memory latency with 4 cycles
+// between consecutive words, a 64-page TLB with a 30-cycle miss cost, and
+// dual-ported memory.
+package memsys
+
+import "fmt"
+
+// Config selects and parameterizes a memory system.
+type Config struct {
+	// Kind selects the hierarchy model.
+	Kind Kind
+	// Ports is the number of LSQ ports (requests issued per cycle).
+	Ports int
+	// QueueSize is the number of outstanding requests the LSQ holds.
+	QueueSize int
+
+	// PerfectLatency is the fixed latency of Kind == Perfect.
+	PerfectLatency int64
+
+	// Cache parameters (Kind == Realistic); zero values use the paper's.
+	L1Bytes     int
+	L1Latency   int64
+	L2Bytes     int
+	L2Latency   int64
+	MemLatency  int64
+	WordGap     int64 // cycles between consecutive words from DRAM
+	LineBytes   int
+	TLBPages    int
+	TLBMissCost int64
+	PageBytes   int
+}
+
+// Kind selects the memory model.
+type Kind int
+
+// Memory system kinds.
+const (
+	Perfect Kind = iota
+	Realistic
+)
+
+// PerfectConfig returns the idealized memory used for upper-bound
+// numbers.
+func PerfectConfig() Config {
+	return Config{Kind: Perfect, Ports: 2, QueueSize: 16, PerfectLatency: 2}
+}
+
+// PaperConfig returns the realistic memory system of Section 7.3 with the
+// given number of ports.
+func PaperConfig(ports int) Config {
+	return Config{
+		Kind:        Realistic,
+		Ports:       ports,
+		QueueSize:   16,
+		L1Bytes:     8 << 10,
+		L1Latency:   2,
+		L2Bytes:     256 << 10,
+		L2Latency:   8,
+		MemLatency:  72,
+		WordGap:     4,
+		LineBytes:   32,
+		TLBPages:    64,
+		TLBMissCost: 30,
+		PageBytes:   4 << 10,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ports <= 0 {
+		c.Ports = 2
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 16
+	}
+	if c.PerfectLatency <= 0 {
+		c.PerfectLatency = 2
+	}
+	if c.L1Bytes <= 0 {
+		c.L1Bytes = 8 << 10
+	}
+	if c.L1Latency <= 0 {
+		c.L1Latency = 2
+	}
+	if c.L2Bytes <= 0 {
+		c.L2Bytes = 256 << 10
+	}
+	if c.L2Latency <= 0 {
+		c.L2Latency = 8
+	}
+	if c.MemLatency <= 0 {
+		c.MemLatency = 72
+	}
+	if c.WordGap <= 0 {
+		c.WordGap = 4
+	}
+	if c.LineBytes <= 0 {
+		c.LineBytes = 32
+	}
+	if c.TLBPages <= 0 {
+		c.TLBPages = 64
+	}
+	if c.TLBMissCost <= 0 {
+		c.TLBMissCost = 30
+	}
+	if c.PageBytes <= 0 {
+		c.PageBytes = 4 << 10
+	}
+	return c
+}
+
+// String names the configuration for reports.
+func (c Config) String() string {
+	if c.Kind == Perfect {
+		return fmt.Sprintf("perfect(%d-port)", c.Ports)
+	}
+	return fmt.Sprintf("realistic(%d-port)", c.Ports)
+}
+
+// Stats accumulates memory-system statistics.
+type Stats struct {
+	Loads     int64
+	Stores    int64
+	L1Hits    int64
+	L1Misses  int64
+	L2Hits    int64
+	L2Misses  int64
+	TLBMisses int64
+	// StallCycles counts cycles requests spent waiting for a port or a
+	// queue slot.
+	StallCycles int64
+}
+
+// System is an LSQ in front of a cache hierarchy. It is a timing model
+// only; data storage lives in the simulator's flat memory.
+type System struct {
+	cfg   Config
+	stats Stats
+
+	// outstanding completion times (bounded by QueueSize).
+	outstanding []int64
+	// issued[t % window] counts issues at cycle t for port limiting.
+	issueTimes map[int64]int
+
+	l1, l2 *cache
+	tlb    *tlbModel
+	// nextDRAMFree models the word-serial DRAM channel.
+	nextDRAMFree int64
+}
+
+// New creates a memory system.
+func New(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{cfg: cfg, issueTimes: map[int64]int{}}
+	if cfg.Kind == Realistic {
+		s.l1 = newCache(cfg.L1Bytes, cfg.LineBytes, 2)
+		s.l2 = newCache(cfg.L2Bytes, cfg.LineBytes, 4)
+		s.tlb = newTLB(cfg.TLBPages, cfg.PageBytes)
+	}
+	return s
+}
+
+// Stats returns the accumulated statistics.
+func (s *System) Stats() Stats { return s.stats }
+
+// Config returns the (defaulted) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Submit models one memory request arriving at cycle t and returns the
+// cycle at which its response is available.
+func (s *System) Submit(t int64, isLoad bool, addr uint32, bytes int) int64 {
+	if isLoad {
+		s.stats.Loads++
+	} else {
+		s.stats.Stores++
+	}
+	start := t
+	// Wait for a free LSQ slot.
+	for len(s.outstanding) >= s.cfg.QueueSize {
+		earliest := s.outstanding[0]
+		idx := 0
+		for i, c := range s.outstanding {
+			if c < earliest {
+				earliest, idx = c, i
+			}
+		}
+		if earliest > t {
+			t = earliest
+		}
+		s.outstanding = append(s.outstanding[:idx], s.outstanding[idx+1:]...)
+	}
+	// Wait for a port.
+	for s.issueTimes[t] >= s.cfg.Ports {
+		t++
+	}
+	s.issueTimes[t]++
+	s.stats.StallCycles += t - start
+	var done int64
+	if s.cfg.Kind == Perfect {
+		done = t + s.cfg.PerfectLatency
+	} else {
+		done = t + s.accessLatency(t, addr, bytes)
+	}
+	s.outstanding = append(s.outstanding, done)
+	s.gcIssueTimes(t)
+	return done
+}
+
+// gcIssueTimes drops per-cycle issue counts older than the horizon to
+// bound memory use across long simulations.
+func (s *System) gcIssueTimes(now int64) {
+	if len(s.issueTimes) < 4096 {
+		return
+	}
+	for c := range s.issueTimes {
+		if c < now-64 {
+			delete(s.issueTimes, c)
+		}
+	}
+}
+
+func (s *System) accessLatency(t int64, addr uint32, bytes int) int64 {
+	lat := int64(0)
+	if !s.tlb.lookup(addr) {
+		s.stats.TLBMisses++
+		lat += s.cfg.TLBMissCost
+	}
+	if s.l1.lookup(addr) {
+		s.stats.L1Hits++
+		return lat + s.cfg.L1Latency
+	}
+	s.stats.L1Misses++
+	s.l1.fill(addr)
+	if s.l2.lookup(addr) {
+		s.stats.L2Hits++
+		return lat + s.cfg.L1Latency + s.cfg.L2Latency
+	}
+	s.stats.L2Misses++
+	s.l2.fill(addr)
+	// DRAM: base latency plus word-serial transfer of the line; the
+	// channel is busy WordGap cycles per word.
+	words := int64(s.cfg.LineBytes / 4)
+	busyUntil := s.nextDRAMFree
+	if t > busyUntil {
+		busyUntil = t
+	}
+	transfer := s.cfg.MemLatency + s.cfg.WordGap*(words-1)
+	s.nextDRAMFree = busyUntil + s.cfg.WordGap*words
+	return lat + s.cfg.L1Latency + s.cfg.L2Latency + (busyUntil - t) + transfer
+}
+
+// --- cache model ---
+
+type cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	// tags[set][way]; lru[set][way] = recency counter
+	tags  [][]uint32
+	valid [][]bool
+	lru   [][]int64
+	clock int64
+}
+
+func newCache(totalBytes, lineBytes, ways int) *cache {
+	lines := totalBytes / lineBytes
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	c := &cache{sets: sets, ways: ways, lineShift: shift}
+	c.tags = make([][]uint32, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]int64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint32, ways)
+		c.valid[i] = make([]bool, ways)
+		c.lru[i] = make([]int64, ways)
+	}
+	return c
+}
+
+func (c *cache) addr2set(addr uint32) (set int, tag uint32) {
+	line := addr >> c.lineShift
+	return int(line) % c.sets, line
+}
+
+// lookup probes the cache, updating LRU on hit.
+func (c *cache) lookup(addr uint32) bool {
+	set, tag := c.addr2set(addr)
+	c.clock++
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lru[set][w] = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts the line containing addr, evicting the LRU way.
+func (c *cache) fill(addr uint32) {
+	set, tag := c.addr2set(addr)
+	c.clock++
+	victim := 0
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.lru[set][victim] = c.clock
+}
+
+// --- TLB model ---
+
+type tlbModel struct {
+	pages     int
+	pageShift uint
+	entries   map[uint32]int64 // page → recency
+	clock     int64
+}
+
+func newTLB(pages, pageBytes int) *tlbModel {
+	shift := uint(0)
+	for 1<<shift < pageBytes {
+		shift++
+	}
+	return &tlbModel{pages: pages, pageShift: shift, entries: map[uint32]int64{}}
+}
+
+func (t *tlbModel) lookup(addr uint32) bool {
+	page := addr >> t.pageShift
+	t.clock++
+	if _, ok := t.entries[page]; ok {
+		t.entries[page] = t.clock
+		return true
+	}
+	// Miss: insert, evicting LRU if full.
+	if len(t.entries) >= t.pages {
+		var lruPage uint32
+		lruTime := int64(1) << 62
+		for p, tm := range t.entries {
+			if tm < lruTime {
+				lruTime, lruPage = tm, p
+			}
+		}
+		delete(t.entries, lruPage)
+	}
+	t.entries[page] = t.clock
+	return false
+}

@@ -1,0 +1,146 @@
+package memsys
+
+import "testing"
+
+func TestPerfectLatency(t *testing.T) {
+	s := New(PerfectConfig())
+	done := s.Submit(10, true, 0x1000, 4)
+	if done != 12 {
+		t.Errorf("perfect load done at %d, want 12", done)
+	}
+}
+
+func TestPortLimit(t *testing.T) {
+	cfg := PerfectConfig()
+	cfg.Ports = 1
+	s := New(cfg)
+	d1 := s.Submit(5, true, 0x1000, 4)
+	d2 := s.Submit(5, true, 0x2000, 4)
+	if d2 <= d1 {
+		t.Errorf("second request on a 1-port system should be delayed: %d vs %d", d1, d2)
+	}
+	if d2 != d1+1 {
+		t.Errorf("second request should issue one cycle later, got %d vs %d", d1, d2)
+	}
+}
+
+func TestDualPorted(t *testing.T) {
+	cfg := PerfectConfig()
+	cfg.Ports = 2
+	s := New(cfg)
+	d1 := s.Submit(5, true, 0x1000, 4)
+	d2 := s.Submit(5, true, 0x2000, 4)
+	d3 := s.Submit(5, true, 0x3000, 4)
+	if d1 != d2 {
+		t.Errorf("two ports should serve two requests the same cycle: %d vs %d", d1, d2)
+	}
+	if d3 != d1+1 {
+		t.Errorf("third request should slip a cycle: %d vs %d", d3, d1)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	cfg := PerfectConfig()
+	cfg.QueueSize = 2
+	cfg.Ports = 2
+	cfg.PerfectLatency = 10
+	s := New(cfg)
+	s.Submit(0, true, 0x1000, 4) // completes at 10
+	s.Submit(0, true, 0x2000, 4) // completes at 10
+	d3 := s.Submit(0, true, 0x3000, 4)
+	if d3 < 20 {
+		t.Errorf("request with full queue should wait for a slot: done at %d", d3)
+	}
+}
+
+func TestRealisticCacheHitMiss(t *testing.T) {
+	s := New(PaperConfig(2))
+	// First access: TLB miss + L1 miss + L2 miss → long latency.
+	d1 := s.Submit(0, true, 0x1000, 4) - 0
+	// Second access to the same line: everything hits.
+	d2 := s.Submit(1000, true, 0x1004, 4) - 1000
+	if d2 >= d1 {
+		t.Errorf("hit latency %d not smaller than cold miss %d", d2, d1)
+	}
+	if d2 != s.Config().L1Latency {
+		t.Errorf("L1 hit latency = %d, want %d", d2, s.Config().L1Latency)
+	}
+	st := s.Stats()
+	if st.L1Hits != 1 || st.L1Misses != 1 || st.L2Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.TLBMisses != 1 {
+		t.Errorf("TLB misses = %d, want 1", st.TLBMisses)
+	}
+}
+
+func TestL2Hit(t *testing.T) {
+	s := New(PaperConfig(2))
+	s.Submit(0, true, 0x1000, 4)
+	// Evict from the 8KB 2-way L1 by touching two more lines mapping to
+	// the same set (stride = L1 size / ways = 4KB).
+	s.Submit(100, true, 0x1000+4096, 4)
+	s.Submit(200, true, 0x1000+8192, 4)
+	// Original line should now hit in L2 but miss in L1.
+	d := s.Submit(10000, true, 0x1000, 4) - 10000
+	want := s.Config().L1Latency + s.Config().L2Latency
+	if d != want {
+		t.Errorf("L2 hit latency = %d, want %d", d, want)
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	cfg := PaperConfig(2)
+	s := New(cfg)
+	// Touch TLBPages+1 distinct pages, then re-touch the first: miss.
+	for i := 0; i <= cfg.TLBPages; i++ {
+		s.Submit(int64(i)*1000, true, uint32(i*cfg.PageBytes), 4)
+	}
+	before := s.Stats().TLBMisses
+	s.Submit(1e7, true, 0, 4)
+	if s.Stats().TLBMisses != before+1 {
+		t.Error("LRU page was not evicted")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	s := New(PerfectConfig())
+	s.Submit(0, true, 0, 4)
+	s.Submit(0, false, 4, 4)
+	s.Submit(0, false, 8, 4)
+	st := s.Stats()
+	if st.Loads != 1 || st.Stores != 2 {
+		t.Errorf("loads=%d stores=%d", st.Loads, st.Stores)
+	}
+}
+
+func TestDRAMChannelSerializes(t *testing.T) {
+	s := New(PaperConfig(2))
+	// Two cold misses to different lines at the same time: the second
+	// line's transfer waits for the channel.
+	d1 := s.Submit(0, true, 0x10000, 4)
+	d2 := s.Submit(0, true, 0x20000, 4)
+	if d2 <= d1 {
+		t.Errorf("DRAM channel should serialize line fills: %d vs %d", d1, d2)
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := newCache(128, 32, 2) // 2 sets, 2 ways
+	if c.lookup(0) {
+		t.Error("cold cache hit")
+	}
+	c.fill(0)
+	c.fill(128) // same set as 0 (2 sets × 32B lines → set = line % 2)
+	if !c.lookup(0) || !c.lookup(128) {
+		t.Error("both ways should be resident")
+	}
+	c.lookup(0) // make 0 most recent
+	c.fill(256) // evicts 128
+	if !c.lookup(0) {
+		t.Error("LRU evicted the wrong way")
+	}
+	if c.lookup(128) {
+		t.Error("128 should have been evicted")
+	}
+}

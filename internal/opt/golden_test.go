@@ -1,0 +1,107 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"spatial/internal/pegasus"
+)
+
+// Golden structural checks on the Section 2 example's final graph: the
+// exact shape of Figure 1D. These complement the counting tests with
+// checks of *how* the remaining operations are wired.
+func TestSection2FinalShape(t *testing.T) {
+	p := compileAt(t, section2Src, Full)
+	g := p.Graph("f")
+
+	var loads, stores, muxes []*pegasus.Node
+	for _, n := range g.Nodes {
+		if n.Dead {
+			continue
+		}
+		switch n.Kind {
+		case pegasus.KLoad:
+			loads = append(loads, n)
+		case pegasus.KStore:
+			stores = append(stores, n)
+		case pegasus.KMux:
+			muxes = append(muxes, n)
+		}
+	}
+	if len(stores) != 1 {
+		t.Fatalf("stores = %d", len(stores))
+	}
+	st := stores[0]
+
+	// The final store executes unconditionally (predicate constant true,
+	// i.e. the hyperblock wave).
+	if !g.IsConstTrue(st.Preds[0].N) {
+		t.Errorf("final store's predicate is not constant true")
+	}
+
+	// Its stored value is the shift; the shift's left operand comes
+	// through a mux (the forwarded a[i] value from Figure 1C).
+	shift := st.Ins[1].N
+	if shift.Kind != pegasus.KBinOp {
+		t.Fatalf("store value is %s, want the shift", shift)
+	}
+	foundMuxFeed := false
+	for _, in := range shift.Ins {
+		if in.N.Kind == pegasus.KMux {
+			foundMuxFeed = true
+		}
+	}
+	if !foundMuxFeed {
+		t.Errorf("shift not fed by the forwarding mux\n%s", g.Dump())
+	}
+
+	// The forwarding mux has two ways: the += result (under p) and the
+	// constant 1 (under !p).
+	if len(muxes) == 0 {
+		t.Fatal("no forwarding mux")
+	}
+	var fwd *pegasus.Node
+	for _, m := range muxes {
+		for _, in := range m.Ins {
+			if in.N.Kind == pegasus.KConst && in.N.ConstVal == 1 {
+				fwd = m
+			}
+		}
+	}
+	if fwd == nil {
+		t.Fatalf("no mux carrying the constant-1 store value\n%s", g.Dump())
+	}
+	if len(fwd.Ins) != 2 {
+		t.Errorf("forwarding mux has %d ways, want 2", len(fwd.Ins))
+	}
+	// Its predicates are complementary.
+	p0, p1 := fwd.Preds[0].N, fwd.Preds[1].N
+	if !g.PredDisjoint(p0, p1) {
+		t.Errorf("mux predicates not mutually exclusive")
+	}
+
+	// The a[i+1] load feeds the shift amount and needs no token edges
+	// from the store (they commute).
+	for _, l := range loads {
+		for _, tok := range l.Toks {
+			if tok.N == st {
+				t.Errorf("a load still waits on the final store\n%s", g.Dump())
+			}
+		}
+	}
+}
+
+// TestSection2DumpStable pins a few structural facts via the dump so
+// regressions in printing or shape show up loudly.
+func TestSection2DumpStable(t *testing.T) {
+	p := compileAt(t, section2Src, Full)
+	d := p.Graph("f").Dump()
+	for _, want := range []string{"mux", "store", "'<<'", "load"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+	if strings.Count(d, "store") != 1 {
+		t.Errorf("dump should mention exactly one store:\n%s", d)
+	}
+}

@@ -1,0 +1,133 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatial/internal/build"
+	"spatial/internal/cminor"
+	"spatial/internal/dataflow"
+	"spatial/internal/interp"
+	"spatial/internal/memsys"
+)
+
+// randOptions builds a random pass subset. Scalar cleanups stay on (the
+// memory passes assume dead predicates get folded), matching how CASH
+// always ran its scalar optimizations.
+func randOptions(rng *rand.Rand) Options {
+	o := Options{ConstFold: true, CSE: true, DCE: true}
+	flip := func() bool { return rng.Intn(2) == 0 }
+	o.DeadMemOps = flip()
+	o.TokenRemoval = flip()
+	o.TransitiveReduction = flip()
+	o.MemMerge = flip()
+	o.StoreBeforeStore = flip()
+	o.LoadAfterStore = flip()
+	o.LICM = flip()
+	o.ReadOnlyLoops = flip()
+	o.MonotoneLoops = flip()
+	o.LoopDecouple = flip()
+	return o
+}
+
+// TestRandomPassSubsetsPreserveSemantics is the optimizer's strongest
+// safety net: any combination of passes must leave program behaviour
+// unchanged (checked against the sequential interpreter oracle).
+func TestRandomPassSubsetsPreserveSemantics(t *testing.T) {
+	programs := []struct {
+		src   string
+		entry string
+		args  []int64
+	}{
+		{`
+unsigned val = 5;
+unsigned a[8] = {1,2,3,4,5,6,7,8};
+void f(unsigned *p, unsigned *a2, int i) {
+  if (p) a2[i] += *p;
+  else a2[i] = 1;
+  a2[i] <<= a2[i+1];
+}
+unsigned run(int usep) {
+  if (usep) f(&val, a, 2); else f((unsigned*)0, a, 2);
+  return a[2] + a[3] * 100;
+}`, "run", []int64{1}},
+		{`
+int a[64];
+int f(int n) {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i++) a[i] = i * i;
+  for (i = 0; i < n; i++) a[i] = a[i+3] + 1;
+  for (i = 0; i < 64; i++) s = s * 3 + a[i];
+  return s & 0x7fffffff;
+}`, "f", []int64{40}},
+		{`
+int g;
+int tab[16];
+int f(int x) {
+  int i;
+  g = x;
+  for (i = 0; i < 16; i++) tab[i] = g + i;
+  g = g + tab[7];
+  if (x > 100) g = 0;
+  return g;
+}`, "f", []int64{13}},
+		{`
+short d[40];
+short p[160];
+int f(void) {
+  int i;
+  for (i = 0; i < 40; i++) d[i] = (short)(i * 3 - 20);
+  for (i = 0; i < 160; i++) p[i] = (short)(i & 31);
+  int lag;
+  int best = -1;
+  int bestLag = 0;
+  for (lag = 40; lag < 80; lag++) {
+    int c = 0;
+    int k;
+    for (k = 0; k < 40; k++) c += d[k] * p[k + 120 - lag];
+    if (c > best) { best = c; bestLag = lag; }
+  }
+  return bestLag * 1000 + (best & 1023);
+}`, "f", nil},
+	}
+	rng := rand.New(rand.NewSource(42))
+	const trials = 12
+	for pi, prog := range programs {
+		parsed, err := cminor.Parse(prog.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cminor.Check(parsed); err != nil {
+			t.Fatal(err)
+		}
+		// Oracle from the unoptimized build.
+		base, err := build.Compile(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := interp.New(base, memsys.PerfectConfig())
+		want, err := it.Run(prog.entry, prog.args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < trials; trial++ {
+			o := randOptions(rng)
+			p, err := build.Compile(parsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Optimize(p, o); err != nil {
+				t.Fatalf("program %d trial %d (%+v): %v", pi, trial, o, err)
+			}
+			res, err := dataflow.Run(p, prog.entry, prog.args, dataflow.DefaultConfig())
+			if err != nil {
+				t.Fatalf("program %d trial %d (%+v): %v", pi, trial, o, err)
+			}
+			if res.Value != want.Value {
+				t.Fatalf("program %d trial %d: got %d want %d with passes %+v",
+					pi, trial, res.Value, want.Value, o)
+			}
+		}
+	}
+}

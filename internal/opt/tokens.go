@@ -1,0 +1,172 @@
+package opt
+
+import (
+	"spatial/internal/affine"
+	"spatial/internal/pegasus"
+)
+
+// This file implements the token-network optimizations: dead
+// memory-operation removal (Section 4.1), token-edge removal by address
+// disambiguation (Section 4.3, Figure 5), and transitive reduction of the
+// token graph (Section 3.4).
+
+// deadMemOps removes side-effect operations whose controlling predicate
+// is constant false: the operation never executes, so its token input is
+// forwarded directly to its token consumers (Section 4.1).
+func deadMemOps(c *ctx) (bool, error) {
+	g := c.g
+	changed := false
+	for _, n := range g.Nodes {
+		if n.Dead {
+			continue
+		}
+		if n.Kind != pegasus.KLoad && n.Kind != pegasus.KStore && n.Kind != pegasus.KCall {
+			continue
+		}
+		pred := n.Preds[0].N
+		if !g.IsConstFalse(pred) {
+			continue
+		}
+		// Loads and calls produce an arbitrary value when squashed;
+		// replace value uses with 0.
+		if n.HasValue() {
+			g.ReplaceUses(n, pegasus.OutValue, pegasus.V(c.constNode(n.Hyper, 0, n.VT)))
+		}
+		spliceTokens(g, n)
+		n.Dead = true
+		changed = true
+	}
+	return changed, nil
+}
+
+// tokenRemoval removes token edges between memory operations whose
+// addresses can be proven distinct by symbolic computation (Section 4.3).
+// Removing edge i→j preserves the transitive closure by forwarding i's
+// token inputs to j (Figure 5).
+func tokenRemoval(c *ctx) (bool, error) {
+	g := c.g
+	changed := false
+	for _, j := range g.Nodes {
+		if j.Dead || !j.IsMemOp() {
+			continue
+		}
+		aj := affine.Decompose(j.Ins[0].N)
+		for idx := 0; idx < len(j.Toks); idx++ {
+			i := j.Toks[idx].N
+			if i.Dead || !i.IsMemOp() || i.Hyper != j.Hyper {
+				continue
+			}
+			// Reads never need ordering; such edges should not exist, but
+			// remove them if a rewrite introduced one.
+			bothReads := i.Kind == pegasus.KLoad && j.Kind == pegasus.KLoad
+			ai := affine.Decompose(i.Ins[0].N)
+			if !bothReads && !affine.Distinct(ai, aj, i.Bytes, j.Bytes) {
+				continue
+			}
+			// Remove the edge i→j. The transitive closure of the rest of
+			// the graph must be preserved (Figure 5): j inherits i's
+			// token inputs (upstream ordering to j), and every consumer
+			// of j's token also waits for i directly (i's ordering to
+			// everything after j — this is how the "new combine at the
+			// end of the program" of Figure 1B arises).
+			j.RemoveTokInput(idx)
+			idx--
+			for _, t := range i.Toks {
+				j.AddTok(t)
+			}
+			for _, m := range g.Nodes {
+				if m.Dead || m == j || m == i {
+					continue
+				}
+				addTokenAlongside(g, m, j, pegasus.T(i))
+			}
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+// addTokenAlongside makes consumer m (which consumes j's token) also wait
+// for extra. Multi-token nodes simply gain an input; fixed-arity ports
+// (etas, merges, returns, token generators) get their slot replaced by a
+// combine over both.
+func addTokenAlongside(g *pegasus.Graph, m, j *pegasus.Node, extra pegasus.Ref) {
+	consumes := false
+	for _, t := range m.Toks {
+		if t.N == j {
+			consumes = true
+			break
+		}
+	}
+	if !consumes {
+		return
+	}
+	if m.IsMemOp() || m.Kind == pegasus.KCall || m.Kind == pegasus.KCombine {
+		m.AddTok(extra)
+		return
+	}
+	for slot := range m.Toks {
+		if m.Toks[slot].N != j {
+			continue
+		}
+		comb := g.NewNode(pegasus.KCombine, m.Hyper)
+		comb.Toks = []pegasus.Ref{m.Toks[slot], extra}
+		m.Toks[slot] = pegasus.T(comb)
+	}
+}
+
+// transitiveReduction drops token edges implied by longer token paths
+// within the same hyperblock. The compiler keeps the token graph reduced
+// throughout (Section 3.4); rewrites such as tokenRemoval's input
+// forwarding can introduce redundant edges.
+func transitiveReduction(c *ctx) (bool, error) {
+	g := c.g
+	changed := false
+	// Transitive closure of intra-hyperblock token inputs per node.
+	closure := map[*pegasus.Node]map[*pegasus.Node]bool{}
+	var reach func(n *pegasus.Node) map[*pegasus.Node]bool
+	reach = func(n *pegasus.Node) map[*pegasus.Node]bool {
+		if m, ok := closure[n]; ok {
+			return m
+		}
+		m := map[*pegasus.Node]bool{}
+		closure[n] = m // breaks cycles through back edges defensively
+		for _, t := range n.Toks {
+			if !t.Valid() || t.N.Hyper != n.Hyper || g.IsBackEdge(t.N, n) {
+				continue
+			}
+			m[t.N] = true
+			for k := range reach(t.N) {
+				m[k] = true
+			}
+		}
+		return m
+	}
+	for _, n := range g.Nodes {
+		if n.Dead || len(n.Toks) < 2 {
+			continue
+		}
+		for idx := 0; idx < len(n.Toks); idx++ {
+			ti := n.Toks[idx].N
+			if ti.Hyper != n.Hyper {
+				continue
+			}
+			redundant := false
+			for jdx, tj := range n.Toks {
+				if jdx == idx || !tj.Valid() || tj.N.Hyper != n.Hyper {
+					continue
+				}
+				if reach(tj.N)[ti] {
+					redundant = true
+					break
+				}
+			}
+			if redundant {
+				n.RemoveTokInput(idx)
+				idx--
+				changed = true
+			}
+		}
+	}
+	return changed, nil
+}

@@ -1,0 +1,244 @@
+package pegasus
+
+import "fmt"
+
+// Port classifies which input slice of a node an edge lands in.
+type Port uint8
+
+// Port classes.
+const (
+	PortIn Port = iota
+	PortPred
+	PortTok
+)
+
+// Use records one use of a node's output.
+type Use struct {
+	User *Node
+	Port Port
+	Idx  int
+	Out  Out // which output of the producer is used
+}
+
+// EachInput invokes f over every input reference of n. The pointer allows
+// in-place rewiring.
+func (n *Node) EachInput(f func(r *Ref, port Port, idx int)) {
+	for i := range n.Ins {
+		f(&n.Ins[i], PortIn, i)
+	}
+	for i := range n.Preds {
+		f(&n.Preds[i], PortPred, i)
+	}
+	for i := range n.Toks {
+		f(&n.Toks[i], PortTok, i)
+	}
+}
+
+// Uses builds the use index for all live nodes: producer → list of uses.
+func (g *Graph) Uses() map[*Node][]Use {
+	uses := make(map[*Node][]Use, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Dead {
+			continue
+		}
+		user := n
+		n.EachInput(func(r *Ref, port Port, idx int) {
+			if r.Valid() {
+				uses[r.N] = append(uses[r.N], Use{User: user, Port: port, Idx: idx, Out: r.Out})
+			}
+		})
+	}
+	return uses
+}
+
+// ReplaceUses rewires every use of output (old, out) to point at newRef.
+func (g *Graph) ReplaceUses(old *Node, out Out, newRef Ref) {
+	for _, n := range g.Nodes {
+		if n.Dead {
+			continue
+		}
+		n.EachInput(func(r *Ref, port Port, idx int) {
+			if r.N == old && r.Out == out {
+				*r = newRef
+			}
+		})
+	}
+}
+
+// RemoveTokInput deletes token input idx from n.
+func (n *Node) RemoveTokInput(idx int) {
+	n.Toks = append(n.Toks[:idx], n.Toks[idx+1:]...)
+}
+
+// AddTok appends a token input, skipping duplicates and invalid refs.
+func (n *Node) AddTok(r Ref) {
+	if !r.Valid() {
+		return
+	}
+	for _, t := range n.Toks {
+		if t == r {
+			return
+		}
+	}
+	n.Toks = append(n.Toks, r)
+}
+
+// InputNodes returns the distinct producer nodes of n's inputs.
+func (n *Node) InputNodes() []*Node {
+	var out []*Node
+	seen := map[*Node]bool{}
+	n.EachInput(func(r *Ref, port Port, idx int) {
+		if r.Valid() && !seen[r.N] {
+			seen[r.N] = true
+			out = append(out, r.N)
+		}
+	})
+	return out
+}
+
+// IsBackEdge reports whether the edge from producer p into consumer c is a
+// loop back edge: an edge into a merge node of a loop hyperblock from a
+// hyperblock at the same or a later position. Hyperblock IDs are assigned
+// in reverse postorder of their seeds, so forward inter-hyperblock edges
+// always increase the ID; only back edges (from the loop body itself or
+// from a later hyperblock inside the same loop) go backward or sideways.
+func (g *Graph) IsBackEdge(p, c *Node) bool {
+	return c.Kind == KMerge && g.Hypers[c.Hyper].IsLoop && p.Hyper >= c.Hyper
+}
+
+// Forward returns the forward dataflow edges of n (skipping back edges),
+// i.e. n's input producers that are not reached through a loop back edge.
+// A token generator's credit input (its token port) is also excluded: the
+// credit returned by the leading loop is consumed by a *later* iteration
+// of the trailing loop, through the generator's internal counter — it is
+// a cross-iteration edge, not a combinational path (paper Section 6.3).
+func (g *Graph) forwardInputs(n *Node) []*Node {
+	var out []*Node
+	seen := map[*Node]bool{}
+	n.EachInput(func(r *Ref, port Port, idx int) {
+		if !r.Valid() || seen[r.N] {
+			return
+		}
+		if n.Kind == KTokenGen && port == PortTok {
+			return
+		}
+		if g.IsBackEdge(r.N, n) {
+			return
+		}
+		seen[r.N] = true
+		out = append(out, r.N)
+	})
+	return out
+}
+
+// Topo returns all live nodes in a topological order of the forward edges
+// (back edges into loop merges are ignored). It panics on an unexpected
+// cycle; Verify reports cycles with diagnostics first.
+func (g *Graph) Topo() []*Node {
+	state := map[*Node]int{} // 0 unvisited, 1 in stack, 2 done
+	var order []*Node
+	var visit func(*Node)
+	visit = func(n *Node) {
+		switch state[n] {
+		case 1:
+			panic(fmt.Sprintf("pegasus: cycle through %s in %s", n, g.Name))
+		case 2:
+			return
+		}
+		state[n] = 1
+		for _, p := range g.forwardInputs(n) {
+			if !p.Dead {
+				visit(p)
+			}
+		}
+		state[n] = 2
+		order = append(order, n)
+	}
+	for _, n := range g.Nodes {
+		if !n.Dead {
+			visit(n)
+		}
+	}
+	return order
+}
+
+// Reachability answers "can a value/token flow from a to b along forward
+// edges?" It is the cycle test the paper's rewriting rules need
+// (Section 5: "testing for the cycle-free condition is easily accomplished
+// with a reachability computation which ignores the back-edges"). The
+// result is cached for a batch of queries and must be invalidated (by
+// building a new Reachability) after the graph changes.
+type Reachability struct {
+	g    *Graph
+	memo map[*Node]map[*Node]bool
+}
+
+// NewReachability creates a fresh reachability cache for g.
+func NewReachability(g *Graph) *Reachability {
+	return &Reachability{g: g, memo: map[*Node]map[*Node]bool{}}
+}
+
+// Reaches reports whether from can reach to along forward dataflow edges
+// (to's inputs are searched transitively for from).
+func (r *Reachability) Reaches(from, to *Node) bool {
+	if from == to {
+		return true
+	}
+	// reachedBy[to] = set of nodes that reach to.
+	if m, ok := r.memo[to]; ok {
+		return m[from]
+	}
+	m := map[*Node]bool{}
+	var walk func(*Node)
+	walk = func(n *Node) {
+		for _, p := range r.g.forwardInputs(n) {
+			if p.Dead || m[p] {
+				continue
+			}
+			m[p] = true
+			walk(p)
+		}
+	}
+	walk(to)
+	r.memo[to] = m
+	return m[from]
+}
+
+// TokenSuccs returns, for each live token-producing node, the nodes that
+// consume its token output.
+func (g *Graph) TokenSuccs() map[*Node][]*Node {
+	succs := map[*Node][]*Node{}
+	for _, n := range g.Nodes {
+		if n.Dead {
+			continue
+		}
+		for _, t := range n.Toks {
+			if t.Valid() {
+				succs[t.N] = append(succs[t.N], n)
+			}
+		}
+	}
+	return succs
+}
+
+// NodesInHyper returns the live nodes of hyperblock h.
+func (g *Graph) NodesInHyper(h int) []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if !n.Dead && n.Hyper == h {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// MemOpsInHyper returns the live loads/stores/calls of hyperblock h.
+func (g *Graph) MemOpsInHyper(h int) []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if !n.Dead && n.Hyper == h && (n.IsMemOp() || n.Kind == KCall) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package pegasus
+
+import (
+	"fmt"
+
+	"spatial/internal/alias"
+	"spatial/internal/cminor"
+)
+
+// Layout assigns simulated memory addresses: globals and strings get
+// static addresses; local memory objects get frame offsets resolved
+// against the activation's frame base at run time.
+type Layout struct {
+	// GlobalBase is the address of the first global object.
+	GlobalBase uint32
+	// StackBase is where the first activation frame starts (frames grow
+	// upward in the simulator).
+	StackBase uint32
+	// MemSize is the total simulated memory size in bytes.
+	MemSize uint32
+
+	// Addr maps static objects (globals, strings) to their base address.
+	Addr map[alias.ObjID]uint32
+	// FrameOffset maps local objects to their offset within the frame.
+	FrameOffset map[alias.ObjID]uint32
+	// FrameSize maps each function to its frame size in bytes.
+	FrameSize map[*cminor.FuncDecl]uint32
+	// ObjSize records every object's size in bytes.
+	ObjSize map[alias.ObjID]uint32
+
+	// Init lists (address, size, value) triples to poke into memory
+	// before execution (global initializers and string bytes).
+	Init []InitCell
+}
+
+// InitCell is one initialized memory cell.
+type InitCell struct {
+	Addr  uint32
+	Size  int
+	Value int64
+}
+
+const defaultMemSize = 4 << 20
+
+func align4(x uint32) uint32 { return (x + 3) &^ 3 }
+
+// BuildLayout computes the memory layout for a program.
+func BuildLayout(src *cminor.Program, an *alias.Analysis) (*Layout, error) {
+	l := &Layout{
+		GlobalBase:  0x1000,
+		MemSize:     defaultMemSize,
+		Addr:        map[alias.ObjID]uint32{},
+		FrameOffset: map[alias.ObjID]uint32{},
+		FrameSize:   map[*cminor.FuncDecl]uint32{},
+		ObjSize:     map[alias.ObjID]uint32{},
+	}
+	// First pass: assign every static address (so initializers may refer
+	// to objects declared later).
+	next := l.GlobalBase
+	frameNext := map[*cminor.FuncDecl]uint32{}
+	for _, o := range an.Objects {
+		switch o.Kind {
+		case alias.ObjGlobal:
+			size := uint32(o.Decl.Type.Size())
+			if size == 0 {
+				// Unsized extern array: give it a default extent so
+				// simulations have backing storage.
+				size = 4096
+			}
+			l.Addr[o.ID] = next
+			l.ObjSize[o.ID] = size
+			next = align4(next + size)
+		case alias.ObjString:
+			s := src.Strings[o.StringIdx]
+			size := uint32(len(s.Value) + 1)
+			l.Addr[o.ID] = next
+			l.ObjSize[o.ID] = size
+			next = align4(next + size)
+		case alias.ObjLocal:
+			size := uint32(o.Decl.Type.Size())
+			if size == 0 {
+				size = 4
+			}
+			off := frameNext[o.Fn]
+			l.FrameOffset[o.ID] = off
+			l.ObjSize[o.ID] = size
+			frameNext[o.Fn] = align4(off + size)
+		case alias.ObjUnknown:
+			// No storage.
+		}
+	}
+	// Second pass: emit initial memory contents.
+	for _, o := range an.Objects {
+		switch o.Kind {
+		case alias.ObjGlobal:
+			if err := l.initGlobal(o, an); err != nil {
+				return nil, err
+			}
+		case alias.ObjString:
+			s := src.Strings[o.StringIdx]
+			base := l.Addr[o.ID]
+			for i := 0; i < len(s.Value); i++ {
+				l.Init = append(l.Init, InitCell{Addr: base + uint32(i), Size: 1, Value: int64(s.Value[i])})
+			}
+			l.Init = append(l.Init, InitCell{Addr: base + uint32(len(s.Value)), Size: 1, Value: 0})
+		}
+	}
+	for fn, sz := range frameNext {
+		l.FrameSize[fn] = sz
+	}
+	l.StackBase = align4(next + 64)
+	if l.StackBase >= l.MemSize {
+		return nil, fmt.Errorf("layout: data segment (%d bytes) exceeds memory", next)
+	}
+	return l, nil
+}
+
+func (l *Layout) initGlobal(o *alias.Object, an *alias.Analysis) error {
+	g := o.Decl
+	base := l.Addr[o.ID]
+	if g.Init != nil {
+		v, err := l.initValue(g.Init, an)
+		if err != nil {
+			return fmt.Errorf("global %s: %v", g.Name, err)
+		}
+		l.Init = append(l.Init, InitCell{Addr: base, Size: int(g.Type.Decay().Size()), Value: v})
+	}
+	if len(g.InitList) > 0 {
+		elem := g.Type.Elem
+		esz := uint32(elem.Size())
+		for i, e := range g.InitList {
+			v, err := l.initValue(e, an)
+			if err != nil {
+				return fmt.Errorf("global %s[%d]: %v", g.Name, i, err)
+			}
+			l.Init = append(l.Init, InitCell{Addr: base + uint32(i)*esz, Size: int(esz), Value: v})
+		}
+	}
+	return nil
+}
+
+// initValue evaluates a constant global initializer. String literals,
+// &global, and array names resolve to their assigned static addresses
+// (all addresses are assigned before initializers are evaluated).
+func (l *Layout) initValue(e cminor.Expr, an *alias.Analysis) (int64, error) {
+	if v, err := cminor.ConstEval(e); err == nil {
+		return v, nil
+	}
+	switch e := e.(type) {
+	case *cminor.StringLit:
+		if addr, ok := l.Addr[an.StringObject(e.Index)]; ok {
+			return int64(addr), nil
+		}
+		return 0, fmt.Errorf("string literal address not yet assigned (declare the global after use or avoid string initializers)")
+	case *cminor.AddrExpr:
+		if lv, ok := e.X.(*cminor.VarRef); ok {
+			if id, ok := an.ObjectOf(lv.Decl); ok {
+				if addr, ok := l.Addr[id]; ok {
+					return int64(addr), nil
+				}
+			}
+		}
+	case *cminor.VarRef:
+		// An array name used as an initializer value.
+		if id, ok := an.ObjectOf(e.Decl); ok {
+			if addr, ok := l.Addr[id]; ok {
+				return int64(addr), nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unsupported initializer %T", e)
+}
+
+// AddressOfObject returns the static address of a global/string object.
+func (l *Layout) AddressOfObject(o alias.ObjID) (uint32, bool) {
+	a, ok := l.Addr[o]
+	return a, ok
+}

@@ -1,0 +1,180 @@
+package pegasus_test
+
+// External test package so the full front end can be used without an
+// import cycle (build imports pegasus).
+
+import (
+	"testing"
+
+	"spatial/internal/alias"
+	"spatial/internal/build"
+	"spatial/internal/cminor"
+	"spatial/internal/dataflow"
+	"spatial/internal/pegasus"
+)
+
+func layoutFor(t *testing.T, src string) (*pegasus.Program, *alias.Analysis) {
+	t.Helper()
+	prog, err := cminor.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cminor.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	p, err := build.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, p.Alias
+}
+
+func objID(t *testing.T, an *alias.Analysis, name string) alias.ObjID {
+	t.Helper()
+	for _, o := range an.Objects {
+		if o.Name == name {
+			return o.ID
+		}
+	}
+	t.Fatalf("no object %s", name)
+	return 0
+}
+
+func TestLayoutDisjointGlobals(t *testing.T) {
+	p, an := layoutFor(t, `
+int a[10];
+int b[10];
+int x;
+void f(void) { x = a[0] + b[0]; }
+`)
+	l := p.Layout
+	type extent struct{ lo, hi uint32 }
+	var extents []extent
+	for _, name := range []string{"a", "b", "x"} {
+		id := objID(t, an, name)
+		addr, ok := l.AddressOfObject(id)
+		if !ok {
+			t.Fatalf("%s has no address", name)
+		}
+		extents = append(extents, extent{addr, addr + l.ObjSize[id]})
+	}
+	for i := range extents {
+		for j := i + 1; j < len(extents); j++ {
+			a, b := extents[i], extents[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Errorf("objects %d and %d overlap: %+v %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestLayoutPointerInitializers(t *testing.T) {
+	p, an := layoutFor(t, `
+int target;
+int *gp = &target;
+const char *msg = "hey";
+int arr[4];
+int *ap = arr;
+void f(void) { *gp = 1; }
+`)
+	l := p.Layout
+	// gp's initial cell must hold target's address.
+	targetAddr, _ := l.AddressOfObject(objID(t, an, "target"))
+	gpAddr, _ := l.AddressOfObject(objID(t, an, "gp"))
+	arrAddr, _ := l.AddressOfObject(objID(t, an, "arr"))
+	apAddr, _ := l.AddressOfObject(objID(t, an, "ap"))
+	foundGP, foundAP, foundMsg := false, false, false
+	for _, c := range l.Init {
+		if c.Addr == gpAddr && c.Value == int64(targetAddr) {
+			foundGP = true
+		}
+		if c.Addr == apAddr && c.Value == int64(arrAddr) {
+			foundAP = true
+		}
+		if c.Addr == l.Addr[an.StringObject(0)] && c.Value == 'h' {
+			foundMsg = true
+		}
+	}
+	if !foundGP {
+		t.Error("&target initializer not materialized")
+	}
+	if !foundAP {
+		t.Error("array-name initializer not materialized")
+	}
+	if !foundMsg {
+		t.Error("string bytes not materialized")
+	}
+	// And the whole thing runs.
+	res, err := dataflow.Run(p, "f", nil, dataflow.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}
+
+func TestLayoutFrameOffsets(t *testing.T) {
+	p, an := layoutFor(t, `
+int leaf(int *q) { return *q; }
+int f(void) {
+  int buf[8];
+  int x = 3;
+  buf[0] = leaf(&x);
+  return buf[0];
+}
+`)
+	l := p.Layout
+	fObjBuf := objID(t, an, "f.buf")
+	fObjX := objID(t, an, "f.x")
+	offBuf := l.FrameOffset[fObjBuf]
+	offX := l.FrameOffset[fObjX]
+	if offBuf == offX {
+		t.Error("frame slots collide")
+	}
+	var fdecl *cminor.FuncDecl
+	for _, fn := range p.Source.Funcs {
+		if fn.Name == "f" {
+			fdecl = fn
+		}
+	}
+	if l.FrameSize[fdecl] < 8*4+4 {
+		t.Errorf("frame size %d too small", l.FrameSize[fdecl])
+	}
+	res, err := dataflow.Run(p, "f", nil, dataflow.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 3 {
+		t.Errorf("f() = %d, want 3", res.Value)
+	}
+}
+
+func TestLayoutGlobalScalarInit(t *testing.T) {
+	p, an := layoutFor(t, `
+int x = 42;
+short s = -7;
+char c = 'Z';
+int f(void) { return x + s + c; }
+`)
+	res, err := dataflow.Run(p, "f", nil, dataflow.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 42-7+'Z' {
+		t.Errorf("f() = %d, want %d", res.Value, 42-7+'Z')
+	}
+	_ = an
+}
+
+func TestLayoutRejectsOversizedData(t *testing.T) {
+	_, err := cminor.Parse("int huge[2000000];")
+	if err != nil {
+		t.Skip("parser rejected first")
+	}
+	prog, _ := cminor.Parse("int huge[2000000]; void f(void) { huge[0] = 1; }")
+	if err := cminor.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build.Compile(prog); err == nil {
+		t.Error("8MB of globals should not fit the 4MB memory")
+	}
+}

@@ -1,0 +1,237 @@
+// Package progen generates random cMinor programs for differential
+// testing: every generated program is deterministic, terminates (all
+// loops have fixed trip counts), and keeps memory accesses in bounds
+// (indices are masked). Running a generated program on the dataflow
+// simulator at any optimization level must produce the same checksum as
+// the sequential interpreter — a whole-stack correctness probe for the
+// front end, the builder, the optimizer, and both execution engines.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// Arrays is the number of global arrays (each 64 ints).
+	Arrays int
+	// Scalars is the number of global scalars.
+	Scalars int
+	// Stmts is the number of top-level statements in the body.
+	Stmts int
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// DefaultConfig returns a medium-size program shape.
+func DefaultConfig(seed int64) Config {
+	return Config{Arrays: 3, Scalars: 3, Stmts: 8, MaxDepth: 3, Seed: seed}
+}
+
+// Generate produces a self-contained program whose entry function
+// `bench` takes no arguments and returns a checksum over all mutable
+// state.
+func Generate(cfg Config) string {
+	g := &gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return g.program()
+}
+
+type gen struct {
+	cfg      Config
+	rng      *rand.Rand
+	sb       strings.Builder
+	vars     []string // in-scope scalar locals (readable)
+	writable int      // prefix of vars that may be assigned (loop indices are read-only)
+	loop     int      // loop nesting depth (to pick distinct index names)
+}
+
+const arrayLen = 64
+
+func (g *gen) program() string {
+	for i := 0; i < g.cfg.Arrays; i++ {
+		fmt.Fprintf(&g.sb, "int arr%d[%d];\n", i, arrayLen)
+	}
+	for i := 0; i < g.cfg.Scalars; i++ {
+		fmt.Fprintf(&g.sb, "int gv%d = %d;\n", i, g.rng.Intn(100))
+	}
+	// A couple of helper functions the body may call.
+	g.sb.WriteString(`
+int clamp255(int x) {
+  if (x < 0) return 0;
+  if (x > 255) return 255;
+  return x;
+}
+int mix(int a, int b) { return (a ^ b) + ((a & b) << 1); }
+`)
+	g.sb.WriteString("int bench(void) {\n")
+	g.vars = nil
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("v%d", i)
+		fmt.Fprintf(&g.sb, "  int %s = %d;\n", name, g.rng.Intn(50))
+		g.vars = append(g.vars, name)
+	}
+	g.writable = len(g.vars)
+	for i := 0; i < g.cfg.Stmts; i++ {
+		g.stmt(1, g.cfg.MaxDepth)
+	}
+	// Checksum everything.
+	g.sb.WriteString("  int chk = 0;\n  int ci;\n")
+	for i := 0; i < g.cfg.Arrays; i++ {
+		fmt.Fprintf(&g.sb, "  for (ci = 0; ci < %d; ci++) chk = chk * 31 + arr%d[ci];\n", arrayLen, i)
+	}
+	for i := 0; i < g.cfg.Scalars; i++ {
+		fmt.Fprintf(&g.sb, "  chk = chk * 17 + gv%d;\n", i)
+	}
+	for _, v := range g.vars {
+		fmt.Fprintf(&g.sb, "  chk = chk * 13 + %s;\n", v)
+	}
+	g.sb.WriteString("  return chk & 0x7fffffff;\n}\n")
+	return g.sb.String()
+}
+
+func (g *gen) indent(depth int) {
+	g.sb.WriteString(strings.Repeat("  ", depth))
+}
+
+// stmt emits one random statement.
+func (g *gen) stmt(depth, budget int) {
+	choice := g.rng.Intn(10)
+	if budget <= 0 && choice >= 6 {
+		choice = g.rng.Intn(6) // only simple statements deep down
+	}
+	switch {
+	case choice < 3: // scalar assignment
+		g.indent(depth)
+		fmt.Fprintf(&g.sb, "%s = %s;\n", g.scalarLV(), g.expr(2))
+	case choice < 6: // array store
+		g.indent(depth)
+		fmt.Fprintf(&g.sb, "arr%d[%s] = %s;\n",
+			g.rng.Intn(g.cfg.Arrays), g.index(), g.expr(2))
+	case choice < 8: // if / if-else
+		g.indent(depth)
+		fmt.Fprintf(&g.sb, "if (%s) {\n", g.expr(1))
+		g.stmt(depth+1, budget-1)
+		g.indent(depth)
+		if g.rng.Intn(2) == 0 {
+			g.sb.WriteString("} else {\n")
+			g.stmt(depth+1, budget-1)
+			g.indent(depth)
+		}
+		g.sb.WriteString("}\n")
+	default: // bounded for loop
+		idx := fmt.Sprintf("i%d", g.loop)
+		g.loop++
+		trip := 4 + g.rng.Intn(arrayLen-4)
+		g.indent(depth)
+		fmt.Fprintf(&g.sb, "{ int %s;\n", idx)
+		g.indent(depth)
+		fmt.Fprintf(&g.sb, "for (%s = 0; %s < %d; %s++) {\n", idx, idx, trip, idx)
+		inner := 1 + g.rng.Intn(2)
+		g.vars = append(g.vars, idx)
+		for k := 0; k < inner; k++ {
+			g.stmt(depth+1, budget-1)
+		}
+		g.vars = g.vars[:len(g.vars)-1]
+		g.indent(depth)
+		g.sb.WriteString("}\n")
+		g.indent(depth)
+		g.sb.WriteString("}\n")
+		g.loop--
+	}
+}
+
+// scalarLV picks a scalar assignment target. Loop indices are excluded:
+// reassigning them could make a loop's trip count unbounded.
+func (g *gen) scalarLV() string {
+	if g.rng.Intn(2) == 0 && g.cfg.Scalars > 0 {
+		return fmt.Sprintf("gv%d", g.rng.Intn(g.cfg.Scalars))
+	}
+	return g.vars[g.rng.Intn(g.writable)]
+}
+
+// index produces an always-in-bounds array index expression.
+func (g *gen) index() string {
+	return fmt.Sprintf("(%s) & %d", g.expr(1), arrayLen-1)
+}
+
+// expr emits a random side-effect-free expression.
+func (g *gen) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return g.atom()
+	case 1:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.atom())
+	case 4:
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), g.cmpOp(), g.expr(depth-1))
+	case 5:
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), g.bitOp(), g.expr(depth-1))
+	case 6:
+		// Division with a guaranteed-nonzero divisor.
+		return fmt.Sprintf("(%s / ((%s & 7) + 1))", g.expr(depth-1), g.atom())
+	default:
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("clamp255(%s)", g.expr(depth-1))
+		case 1:
+			return fmt.Sprintf("mix(%s, %s)", g.expr(depth-1), g.atom())
+		default:
+			// ?: arms are speculated by the hyperblock machinery; the
+			// checker forbids calls inside them, so use call-free arms.
+			return fmt.Sprintf("(%s ? %s : %s)", g.atom(), g.pureExpr(depth-1), g.pureExpr(depth-1))
+		}
+	}
+}
+
+// pureExpr emits an expression with no calls (usable inside ?: arms).
+func (g *gen) pureExpr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return g.atom()
+	case 1:
+		return fmt.Sprintf("(%s + %s)", g.pureExpr(depth-1), g.pureExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s %s %s)", g.pureExpr(depth-1), g.bitOp(), g.atom())
+	default:
+		return fmt.Sprintf("(%s * %s)", g.pureExpr(depth-1), g.atom())
+	}
+}
+
+func (g *gen) cmpOp() string {
+	return []string{"<", ">", "<=", ">=", "==", "!="}[g.rng.Intn(6)]
+}
+
+func (g *gen) bitOp() string {
+	return []string{"&", "|", "^", ">>", "<<"}[g.rng.Intn(5)]
+}
+
+// atom emits a leaf: a constant, a scalar, or an array read.
+func (g *gen) atom() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(64))
+	case 1:
+		if g.cfg.Scalars > 0 {
+			return fmt.Sprintf("gv%d", g.rng.Intn(g.cfg.Scalars))
+		}
+		fallthrough
+	case 2:
+		return g.vars[g.rng.Intn(len(g.vars))]
+	default:
+		return fmt.Sprintf("arr%d[(%s) & %d]",
+			g.rng.Intn(g.cfg.Arrays), g.vars[g.rng.Intn(len(g.vars))], arrayLen-1)
+	}
+}

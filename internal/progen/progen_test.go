@@ -1,0 +1,122 @@
+package progen
+
+import (
+	"testing"
+
+	"spatial/internal/build"
+	"spatial/internal/cminor"
+	"spatial/internal/dataflow"
+	"spatial/internal/interp"
+	"spatial/internal/memsys"
+	"spatial/internal/opt"
+)
+
+func TestGeneratedProgramsParse(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		src := Generate(DefaultConfig(seed))
+		prog, err := cminor.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		if err := cminor.Check(prog); err != nil {
+			t.Fatalf("seed %d: check: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(7))
+	b := Generate(DefaultConfig(7))
+	if a != b {
+		t.Error("generator is not deterministic for a fixed seed")
+	}
+	c := Generate(DefaultConfig(8))
+	if a == c {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+// TestDifferentialFuzz is the whole-stack fuzz probe: random programs,
+// all optimization levels, dataflow vs interpreter.
+func TestDifferentialFuzz(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		src := Generate(DefaultConfig(int64(seed)))
+		prog, err := cminor.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := cminor.Check(prog); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var want int64
+		haveWant := false
+		for _, level := range []opt.Level{opt.None, opt.Medium, opt.Full} {
+			p, err := build.Compile(prog)
+			if err != nil {
+				t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+			}
+			if err := opt.OptimizeAt(p, level); err != nil {
+				t.Fatalf("seed %d level %v: %v\n%s", seed, level, err, src)
+			}
+			if !haveWant {
+				it := interp.New(p, memsys.PerfectConfig())
+				res, err := it.Run("bench", nil)
+				if err != nil {
+					t.Fatalf("seed %d: interp: %v\n%s", seed, err, src)
+				}
+				want = res.Value
+				haveWant = true
+			}
+			res, err := dataflow.Run(p, "bench", nil, dataflow.DefaultConfig())
+			if err != nil {
+				t.Fatalf("seed %d level %v: dataflow: %v\n%s", seed, level, err, src)
+			}
+			if res.Value != want {
+				t.Fatalf("seed %d level %v: checksum %d, want %d\n%s",
+					seed, level, res.Value, want, src)
+			}
+		}
+	}
+}
+
+// TestDifferentialFuzzLargerShapes stresses deeper nesting and more
+// statements on a few seeds.
+func TestDifferentialFuzzLargerShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(100); seed < 106; seed++ {
+		cfg := Config{Arrays: 4, Scalars: 4, Stmts: 14, MaxDepth: 4, Seed: seed}
+		src := Generate(cfg)
+		prog, err := cminor.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := cminor.Check(prog); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p, err := build.Compile(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		it := interp.New(p, memsys.PerfectConfig())
+		want, err := it.Run("bench", nil)
+		if err != nil {
+			t.Fatalf("seed %d: interp: %v", seed, err)
+		}
+		if err := opt.OptimizeAt(p, opt.Full); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		res, err := dataflow.Run(p, "bench", nil, dataflow.DefaultConfig())
+		if err != nil {
+			t.Fatalf("seed %d: dataflow: %v\n%s", seed, err, src)
+		}
+		if res.Value != want.Value {
+			t.Fatalf("seed %d: %d vs %d\n%s", seed, res.Value, want.Value, src)
+		}
+	}
+}

@@ -1,0 +1,792 @@
+package workloads
+
+// MediaBench-family kernels. Each mirrors the memory behaviour of its
+// namesake: ADPCM's table-driven sample loop, GSM's LTP dot products,
+// EPIC's strided wavelet filters, MPEG-2's blocked DCT, JPEG's
+// quantization with constant tables, Pegwit's mixing passes, G.721's
+// predictor update, and Mesa's matrix-vector transforms.
+
+var adpcmE = &Workload{
+	Name:      "adpcm_e",
+	Entry:     "bench",
+	Pipelined: true,
+	Source: `
+const int stepTable[16] = {7, 8, 9, 10, 11, 12, 13, 14,
+                           16, 17, 19, 21, 23, 25, 28, 31};
+const int indexTable[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+int pcm[256];
+char code[256];
+
+void genInput(void) {
+  int i;
+  int v = 0;
+  for (i = 0; i < 256; i++) {
+    v = v + ((i * 37) & 63) - 31;
+    pcm[i] = v * 16;
+  }
+}
+
+int encode(int n) {
+  int valpred = 0;
+  int index = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    int val = pcm[i];
+    int diff = val - valpred;
+    int sign = 0;
+    if (diff < 0) { sign = 8; diff = -diff; }
+    int step = stepTable[index];
+    int delta = 0;
+    int vpdiff = step >> 3;
+    if (diff >= step) { delta = 4; diff -= step; vpdiff += step; }
+    step >>= 1;
+    if (diff >= step) { delta |= 2; diff -= step; vpdiff += step; }
+    step >>= 1;
+    if (diff >= step) { delta |= 1; vpdiff += step; }
+    if (sign) valpred -= vpdiff; else valpred += vpdiff;
+    if (valpred > 32767) valpred = 32767;
+    else if (valpred < -32768) valpred = -32768;
+    delta |= sign;
+    index += indexTable[delta & 7];
+    if (index < 0) index = 0;
+    if (index > 15) index = 15;
+    code[i] = (char)delta;
+  }
+  return valpred;
+}
+
+int bench(void) {
+  int i;
+  int sum = 0;
+  genInput();
+  int last = encode(256);
+  for (i = 0; i < 256; i++) sum += code[i];
+  return sum * 31 + last;
+}
+`,
+}
+
+var adpcmD = &Workload{
+	Name:      "adpcm_d",
+	Entry:     "bench",
+	Pipelined: true,
+	Source: `
+const int stepTable[16] = {7, 8, 9, 10, 11, 12, 13, 14,
+                           16, 17, 19, 21, 23, 25, 28, 31};
+const int indexTable[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+char code[256];
+int out[256];
+
+void genCode(void) {
+  int i;
+  for (i = 0; i < 256; i++) code[i] = (char)((i * 13 + 5) & 15);
+}
+
+void decode(int n) {
+  int valpred = 0;
+  int index = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    int delta = code[i] & 15;
+    int step = stepTable[index];
+    int vpdiff = step >> 3;
+    if (delta & 4) vpdiff += step;
+    if (delta & 2) vpdiff += step >> 1;
+    if (delta & 1) vpdiff += step >> 2;
+    if (delta & 8) valpred -= vpdiff; else valpred += vpdiff;
+    if (valpred > 32767) valpred = 32767;
+    else if (valpred < -32768) valpred = -32768;
+    index += indexTable[delta & 7];
+    if (index < 0) index = 0;
+    if (index > 15) index = 15;
+    out[i] = valpred;
+  }
+}
+
+int bench(void) {
+  int i;
+  int sum = 0;
+  genCode();
+  decode(256);
+  for (i = 0; i < 256; i++) sum += out[i] >> 4;
+  return sum;
+}
+`,
+}
+
+var gsmE = &Workload{
+	Name:      "gsm_e",
+	Entry:     "bench",
+	Pipelined: true,
+	Source: `
+short din[200];
+short dp[160];
+short e[50];
+int ltpGain;
+int ltpLag;
+
+void genSignal(void) {
+  int i;
+  for (i = 0; i < 200; i++) din[i] = (short)(((i * 29) & 255) - 128);
+  for (i = 0; i < 160; i++) dp[i] = (short)(((i * 17) & 255) - 128);
+}
+
+/* Long-term-prediction cross correlation: the hot loop of gsm_e. */
+int ltpSearch(short *d, short *prev, int n) {
+  #pragma independent d prev
+  int lag;
+  int bestLag = 40;
+  int bestCorr = -1;
+  for (lag = 40; lag < 120; lag++) {
+    int corr = 0;
+    int k;
+    for (k = 0; k < n; k++) {
+      corr += d[k] * prev[k + 120 - lag];
+    }
+    if (corr > bestCorr) { bestCorr = corr; bestLag = lag; }
+  }
+  ltpGain = bestCorr;
+  return bestLag;
+}
+
+void residual(short *d, short *prev, int lag, int n) {
+  #pragma independent d prev
+  int k;
+  for (k = 0; k < n; k++) {
+    e[k] = (short)(d[k] - (prev[k + 120 - lag] >> 1));
+  }
+}
+
+int bench(void) {
+  genSignal();
+  ltpLag = ltpSearch(din, dp, 40);
+  residual(din, dp, ltpLag, 40);
+  int i;
+  int sum = 0;
+  for (i = 0; i < 40; i++) sum += e[i];
+  return sum * 7 + ltpLag + (ltpGain & 1023);
+}
+`,
+}
+
+var gsmD = &Workload{
+	Name:      "gsm_d",
+	Entry:     "bench",
+	Pipelined: true,
+	Source: `
+short erp[40];
+short drp[160];
+
+void genErp(void) {
+  int i;
+  for (i = 0; i < 40; i++) erp[i] = (short)(((i * 23) & 127) - 64);
+  for (i = 0; i < 120; i++) drp[i] = (short)(((i * 11) & 127) - 64);
+}
+
+/* Long-term synthesis filtering: reconstruct drp[120..159] from the lag
+   window — a loop-carried dependence at a dynamic distance. */
+void ltpSynthesis(int lag, int gain) {
+  int k;
+  for (k = 0; k < 40; k++) {
+    int pred = (gain * drp[120 + k - lag]) >> 2;
+    drp[120 + k] = (short)(erp[k] + pred);
+  }
+}
+
+int bench(void) {
+  genErp();
+  ltpSynthesis(60, 3);
+  int i;
+  int sum = 0;
+  for (i = 120; i < 160; i++) sum += drp[i];
+  return sum;
+}
+`,
+}
+
+var epicE = &Workload{
+	Name:      "epic_e",
+	Entry:     "bench",
+	Pipelined: true,
+	Source: `
+int image[256];
+int lo[128];
+int hi[128];
+int q[256];
+
+void genImage(void) {
+  int i;
+  for (i = 0; i < 256; i++) image[i] = ((i * 7) & 255) - 100;
+}
+
+/* One level of the EPIC wavelet pyramid: strided reads, monotone writes
+   into two disjoint bands. */
+void analyze(int *src, int *lowBand, int *highBand, int n) {
+  #pragma independent lowBand highBand
+  #pragma independent src lowBand
+  #pragma independent src highBand
+  int i;
+  for (i = 0; i < n; i++) {
+    int a = src[2*i];
+    int b = src[2*i+1];
+    lowBand[i] = (a + b) >> 1;
+    highBand[i] = a - b;
+  }
+}
+
+/* Quantize both bands back into one output array. */
+void quantize(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    q[i] = lo[i] >> 2;
+    q[i + n] = hi[i] >> 3;
+  }
+}
+
+int bench(void) {
+  genImage();
+  analyze(image, lo, hi, 128);
+  quantize(128);
+  int i;
+  int sum = 0;
+  for (i = 0; i < 256; i++) sum += q[i] * ((i & 3) + 1);
+  return sum;
+}
+`,
+}
+
+var epicD = &Workload{
+	Name:      "epic_d",
+	Entry:     "bench",
+	Pipelined: true,
+	Source: `
+int q[256];
+int lo[128];
+int hi[128];
+int image[256];
+
+void genQ(void) {
+  int i;
+  for (i = 0; i < 256; i++) q[i] = ((i * 5) & 63) - 32;
+}
+
+void dequantize(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    lo[i] = q[i] << 2;
+    hi[i] = q[i + n] << 3;
+  }
+}
+
+/* Inverse wavelet: reconstruct interleaved samples. */
+void synthesize(int *lowBand, int *highBand, int *dst, int n) {
+  #pragma independent lowBand highBand
+  #pragma independent lowBand dst
+  #pragma independent highBand dst
+  int i;
+  for (i = 0; i < n; i++) {
+    int s = lowBand[i];
+    int d = highBand[i];
+    dst[2*i] = s + ((d + 1) >> 1);
+    dst[2*i+1] = s - (d >> 1);
+  }
+}
+
+int bench(void) {
+  genQ();
+  dequantize(128);
+  synthesize(lo, hi, image, 128);
+  int i;
+  int sum = 0;
+  for (i = 0; i < 256; i++) sum += image[i];
+  return sum;
+}
+`,
+}
+
+var mpeg2E = &Workload{
+	Name:      "mpeg2_e",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+int block[64];
+int coef[64];
+int ref[64];
+int cur[64];
+
+void genBlocks(void) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    cur[i] = (i * 3) & 255;
+    ref[i] = ((i * 3 + 7) & 255);
+  }
+}
+
+/* Motion-compensated difference. */
+void diffBlock(void) {
+  int i;
+  for (i = 0; i < 64; i++) block[i] = cur[i] - ref[i];
+}
+
+/* Separable 8x8 transform (row pass then column pass), the fdct shape. */
+void fdct(void) {
+  int i;
+  int j;
+  for (i = 0; i < 8; i++) {
+    int s = 0;
+    for (j = 0; j < 8; j++) s += block[i*8 + j];
+    for (j = 0; j < 8; j++) coef[i*8 + j] = block[i*8 + j] * 2 - (s >> 3);
+  }
+  for (j = 0; j < 8; j++) {
+    int s = 0;
+    for (i = 0; i < 8; i++) s += coef[i*8 + j];
+    for (i = 0; i < 8; i++) coef[i*8 + j] = coef[i*8 + j] - (s >> 4);
+  }
+}
+
+int quantBlock(int qscale) {
+  int i;
+  int nz = 0;
+  for (i = 0; i < 64; i++) {
+    int v = coef[i] / qscale;
+    coef[i] = v;
+    if (v) nz++;
+  }
+  return nz;
+}
+
+int bench(void) {
+  genBlocks();
+  diffBlock();
+  fdct();
+  int nz = quantBlock(3);
+  int i;
+  int sum = 0;
+  for (i = 0; i < 64; i++) sum += coef[i] * (i + 1);
+  return sum + nz * 1000;
+}
+`,
+}
+
+var mpeg2D = &Workload{
+	Name:      "mpeg2_d",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+int coef[64];
+int block[64];
+int pred[64];
+int recon[64];
+
+void genCoef(void) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    coef[i] = ((i * 9) & 31) - 16;
+    pred[i] = (i * 2) & 255;
+  }
+}
+
+void idct(void) {
+  int i;
+  int j;
+  for (i = 0; i < 8; i++) {
+    int s = 0;
+    for (j = 0; j < 8; j++) s += coef[i*8 + j];
+    for (j = 0; j < 8; j++) block[i*8 + j] = coef[i*8 + j] * 2 + (s >> 3);
+  }
+}
+
+/* Motion compensation + saturation: the add_block shape. */
+void addBlock(void) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    int v = block[i] + pred[i];
+    if (v < 0) v = 0;
+    if (v > 255) v = 255;
+    recon[i] = v;
+  }
+}
+
+int bench(void) {
+  genCoef();
+  idct();
+  addBlock();
+  int i;
+  int sum = 0;
+  for (i = 0; i < 64; i++) sum += recon[i] ^ (i & 7);
+  return sum;
+}
+`,
+}
+
+var jpegE = &Workload{
+	Name:      "jpeg_e",
+	Entry:     "bench",
+	Pipelined: true,
+	Source: `
+const int quantTable[64] = {
+  16, 11, 10, 16, 24, 40, 51, 61,
+  12, 12, 14, 19, 26, 58, 60, 55,
+  14, 13, 16, 24, 40, 57, 69, 56,
+  14, 17, 22, 29, 51, 87, 80, 62,
+  18, 22, 37, 56, 68, 109, 103, 77,
+  24, 35, 55, 64, 81, 104, 113, 92,
+  49, 64, 78, 87, 103, 121, 120, 101,
+  72, 92, 95, 98, 112, 100, 103, 99};
+const int zigzag[64] = {
+  0, 1, 8, 16, 9, 2, 3, 10,
+  17, 24, 32, 25, 18, 11, 4, 5,
+  12, 19, 26, 33, 40, 48, 41, 34,
+  27, 20, 13, 6, 7, 14, 21, 28,
+  35, 42, 49, 56, 57, 50, 43, 36,
+  29, 22, 15, 23, 30, 37, 44, 51,
+  58, 59, 52, 45, 38, 31, 39, 46,
+  53, 60, 61, 54, 47, 55, 62, 63};
+int dct[64];
+int zz[64];
+
+void genDct(void) {
+  int i;
+  for (i = 0; i < 64; i++) dct[i] = ((i * 31) & 511) - 256;
+}
+
+/* Quantize against the constant table, then reorder in zigzag sequence:
+   immutable-table loads plus permuted stores. */
+void quantZigzag(int *src, int *dst) {
+  #pragma independent src dst
+  int i;
+  for (i = 0; i < 64; i++) {
+    int v = src[i] / quantTable[i];
+    dst[zigzag[i]] = v;
+  }
+}
+
+int bench(void) {
+  genDct();
+  quantZigzag(dct, zz);
+  int i;
+  int sum = 0;
+  int run = 0;
+  for (i = 0; i < 64; i++) {
+    if (zz[i] == 0) run++;
+    else { sum += zz[i] + run; run = 0; }
+  }
+  return sum * 3 + run;
+}
+`,
+}
+
+var jpegD = &Workload{
+	Name:      "jpeg_d",
+	Entry:     "bench",
+	Pipelined: true,
+	Source: `
+const int quantTable[64] = {
+  16, 11, 10, 16, 24, 40, 51, 61,
+  12, 12, 14, 19, 26, 58, 60, 55,
+  14, 13, 16, 24, 40, 57, 69, 56,
+  14, 17, 22, 29, 51, 87, 80, 62,
+  18, 22, 37, 56, 68, 109, 103, 77,
+  24, 35, 55, 64, 81, 104, 113, 92,
+  49, 64, 78, 87, 103, 121, 120, 101,
+  72, 92, 95, 98, 112, 100, 103, 99};
+int zz[64];
+int dct[64];
+unsigned char pixels[64];
+
+void genZz(void) {
+  int i;
+  for (i = 0; i < 64; i++) zz[i] = ((i * 13) & 31) - 16;
+}
+
+void dequant(void) {
+  int i;
+  for (i = 0; i < 64; i++) dct[i] = zz[i] * quantTable[i];
+}
+
+/* Range-limit to bytes, the jpeg idct output stage. */
+void rangeLimit(void) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    int v = (dct[i] >> 3) + 128;
+    if (v < 0) v = 0;
+    if (v > 255) v = 255;
+    pixels[i] = (unsigned char)v;
+  }
+}
+
+int bench(void) {
+  genZz();
+  dequant();
+  rangeLimit();
+  int i;
+  int sum = 0;
+  for (i = 0; i < 64; i++) sum = sum * 3 + pixels[i];
+  return sum;
+}
+`,
+}
+
+var pegwitE = &Workload{
+	Name:      "pegwit_e",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+unsigned state[16];
+unsigned msg[128];
+unsigned ct[128];
+
+void genMsg(void) {
+  int i;
+  for (i = 0; i < 128; i++) msg[i] = (unsigned)(i * 2654435761u);
+  for (i = 0; i < 16; i++) state[i] = (unsigned)(i * 40503u + 17);
+}
+
+/* A sponge-like mixing round: sequential dependences through state. */
+void mix(void) {
+  int i;
+  for (i = 0; i < 16; i++) {
+    unsigned a = state[i];
+    unsigned b = state[(i + 1) & 15];
+    state[i] = ((a << 5) | (a >> 27)) ^ b ^ (unsigned)(i * 0x9e3779b9u);
+  }
+}
+
+void encrypt(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if ((i & 15) == 0) mix();
+    ct[i] = msg[i] ^ state[i & 15];
+  }
+}
+
+int bench(void) {
+  genMsg();
+  encrypt(128);
+  int i;
+  unsigned h = 0;
+  for (i = 0; i < 128; i++) h = h * 31 + ct[i];
+  return (int)(h & 0x7fffffff);
+}
+`,
+}
+
+var pegwitD = &Workload{
+	Name:      "pegwit_d",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+unsigned state[16];
+unsigned ct[128];
+unsigned pt[128];
+
+void genCt(void) {
+  int i;
+  for (i = 0; i < 128; i++) ct[i] = (unsigned)(i * 2246822519u + 3);
+  for (i = 0; i < 16; i++) state[i] = (unsigned)(i * 40503u + 17);
+}
+
+void mix(void) {
+  int i;
+  for (i = 0; i < 16; i++) {
+    unsigned a = state[i];
+    unsigned b = state[(i + 1) & 15];
+    state[i] = ((a << 5) | (a >> 27)) ^ b ^ (unsigned)(i * 0x9e3779b9u);
+  }
+}
+
+void decrypt(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if ((i & 15) == 0) mix();
+    pt[i] = ct[i] ^ state[i & 15];
+  }
+}
+
+int bench(void) {
+  genCt();
+  decrypt(128);
+  int i;
+  unsigned h = 0;
+  for (i = 0; i < 128; i++) h = h * 33 + pt[i];
+  return (int)(h & 0x7fffffff);
+}
+`,
+}
+
+var g721E = &Workload{
+	Name:      "g721_e",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+int sr[2];
+int dq[6];
+int b[6];
+int pcmIn[128];
+char outCode[128];
+
+void genPcm(void) {
+  int i;
+  for (i = 0; i < 128; i++) pcmIn[i] = (((i * 41) & 255) - 128) * 8;
+}
+
+/* The ADPCM predictor of G.721: a 6-tap adaptive FIR over a delay line,
+   updated every sample (read-modify-write of small state arrays). */
+int predict(void) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 6; i++) acc += b[i] * dq[i];
+  return acc >> 6;
+}
+
+void update(int d) {
+  int i;
+  for (i = 5; i > 0; i--) dq[i] = dq[i-1];
+  dq[0] = d;
+  for (i = 0; i < 6; i++) {
+    if (d * dq[i] > 0) b[i] += 1; else b[i] -= 1;
+    if (b[i] > 128) b[i] = 128;
+    if (b[i] < -128) b[i] = -128;
+  }
+}
+
+void encodeAll(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int se = predict();
+    int d = pcmIn[i] - se;
+    int code = 0;
+    if (d < 0) { code = 8; d = -d; }
+    if (d > 255) code |= 4;
+    if ((d & 255) > 127) code |= 2;
+    if ((d & 127) > 63) code |= 1;
+    outCode[i] = (char)code;
+    update(pcmIn[i] - se);
+  }
+}
+
+int bench(void) {
+  genPcm();
+  encodeAll(128);
+  int i;
+  int sum = 0;
+  for (i = 0; i < 128; i++) sum = sum * 5 + outCode[i];
+  return sum & 0x7fffffff;
+}
+`,
+}
+
+var g721D = &Workload{
+	Name:      "g721_d",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+int dq[6];
+int b[6];
+char codes[128];
+int pcmOut[128];
+
+void genCodes(void) {
+  int i;
+  for (i = 0; i < 128; i++) codes[i] = (char)((i * 7 + 3) & 15);
+}
+
+int predict(void) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 6; i++) acc += b[i] * dq[i];
+  return acc >> 6;
+}
+
+void update(int d) {
+  int i;
+  for (i = 5; i > 0; i--) dq[i] = dq[i-1];
+  dq[0] = d;
+  for (i = 0; i < 6; i++) {
+    if (d * dq[i] > 0) b[i] += 1; else b[i] -= 1;
+    if (b[i] > 128) b[i] = 128;
+    if (b[i] < -128) b[i] = -128;
+  }
+}
+
+void decodeAll(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int code = codes[i];
+    int d = ((code & 3) << 6) + 32;
+    if (code & 4) d += 256;
+    if (code & 8) d = -d;
+    int se = predict();
+    pcmOut[i] = se + d;
+    update(d);
+  }
+}
+
+int bench(void) {
+  genCodes();
+  decodeAll(128);
+  int i;
+  int sum = 0;
+  for (i = 0; i < 128; i++) sum += pcmOut[i] * ((i & 7) + 1);
+  return sum;
+}
+`,
+}
+
+var mesa = &Workload{
+	Name:      "mesa",
+	Entry:     "bench",
+	Pipelined: true,
+	Source: `
+int verts[192];   /* 64 vertices x 3 */
+int xformed[192];
+int zbuf[64];
+int fb[64];
+const int mat[12] = {2, 0, 0, 10,
+                     0, 2, 0, 20,
+                     0, 0, 1, 30};
+
+void genVerts(void) {
+  int i;
+  for (i = 0; i < 192; i++) verts[i] = ((i * 19) & 127) - 64;
+}
+
+/* gl_xform_points3: matrix times every vertex — disjoint in/out arrays,
+   perfectly pipelinable. */
+void xformPoints(int *in, int *out, int n) {
+  #pragma independent in out
+  int i;
+  for (i = 0; i < n; i++) {
+    int x = in[i*3];
+    int y = in[i*3+1];
+    int z = in[i*3+2];
+    out[i*3]   = mat[0]*x + mat[1]*y + mat[2]*z  + mat[3];
+    out[i*3+1] = mat[4]*x + mat[5]*y + mat[6]*z  + mat[7];
+    out[i*3+2] = mat[8]*x + mat[9]*y + mat[10]*z + mat[11];
+  }
+}
+
+/* Depth-tested write, the fragment pipeline shape. */
+void depthTest(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int z = xformed[i*3+2];
+    if (z < zbuf[i]) {
+      zbuf[i] = z;
+      fb[i] = xformed[i*3] & 255;
+    }
+  }
+}
+
+int bench(void) {
+  int i;
+  genVerts();
+  for (i = 0; i < 64; i++) zbuf[i] = 1000;
+  xformPoints(verts, xformed, 64);
+  depthTest(64);
+  int sum = 0;
+  for (i = 0; i < 64; i++) sum += fb[i] + zbuf[i];
+  return sum;
+}
+`,
+}

@@ -1,0 +1,402 @@
+package workloads
+
+// SPECint'95-family kernels: pointer-heavy, control-heavy integer codes.
+// 099.go's board scans, 124.m88ksim's dispatch loop, 129.compress's LZW
+// hash table, 130.li's cons-cell heap, 132.ijpeg's sample convolution,
+// 134.perl's string hashing, and 147.vortex's record stores.
+
+var spec099go = &Workload{
+	Name:      "099.go",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+char board[361]; /* 19x19 */
+int libCount[361];
+
+void setup(void) {
+  int i;
+  for (i = 0; i < 361; i++) {
+    int v = (i * 2654435761u) >> 29;
+    if (v < 3) board[i] = 1;        /* black */
+    else if (v < 6) board[i] = 2;   /* white */
+    else board[i] = 0;              /* empty */
+  }
+}
+
+/* Count pseudo-liberties of every stone: neighbour reads with branchy
+   control flow, the classic go-engine access shape. */
+void liberties(void) {
+  int r;
+  int c;
+  for (r = 0; r < 19; r++) {
+    for (c = 0; c < 19; c++) {
+      int idx = r * 19 + c;
+      int n = 0;
+      if (board[idx] == 0) { libCount[idx] = -1; continue; }
+      if (r > 0) { if (board[idx - 19] == 0) n++; }
+      if (r < 18) { if (board[idx + 19] == 0) n++; }
+      if (c > 0) { if (board[idx - 1] == 0) n++; }
+      if (c < 18) { if (board[idx + 1] == 0) n++; }
+      libCount[idx] = n;
+    }
+  }
+}
+
+int score(void) {
+  int i;
+  int s = 0;
+  for (i = 0; i < 361; i++) {
+    if (board[i] == 1) s += libCount[i];
+    else if (board[i] == 2) s -= libCount[i];
+  }
+  return s;
+}
+
+int bench(void) {
+  setup();
+  liberties();
+  return score() + 1000;
+}
+`,
+}
+
+var spec124m88ksim = &Workload{
+	Name:      "124.m88ksim",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+int regs[32];
+unsigned prog[64];
+int memory[64];
+
+void loadProgram(void) {
+  int i;
+  /* op: 0 add, 1 sub, 2 load, 3 store, 4 shift */
+  for (i = 0; i < 64; i++) {
+    unsigned op = (unsigned)((i * 11) % 5);
+    unsigned rd = (unsigned)((i * 7) & 31);
+    unsigned rs = (unsigned)((i * 13) & 31);
+    unsigned rt = (unsigned)((i * 3) & 31);
+    prog[i] = (op << 24) | (rd << 16) | (rs << 8) | rt;
+  }
+  for (i = 0; i < 32; i++) regs[i] = i * 5 - 7;
+  for (i = 0; i < 64; i++) memory[i] = i * 9;
+}
+
+/* The instruction-dispatch interpreter loop: dependent loads (fetch,
+   register file, data memory) with branchy decode. */
+int interpret(int steps) {
+  int pc = 0;
+  int count = 0;
+  while (steps > 0) {
+    unsigned insn = prog[pc];
+    int op = (int)(insn >> 24) & 255;
+    int rd = (int)(insn >> 16) & 31;
+    int rs = (int)(insn >> 8) & 31;
+    int rt = (int)insn & 31;
+    if (op == 0) regs[rd] = regs[rs] + regs[rt];
+    else if (op == 1) regs[rd] = regs[rs] - regs[rt];
+    else if (op == 2) regs[rd] = memory[regs[rs] & 63];
+    else if (op == 3) memory[regs[rs] & 63] = regs[rt];
+    else regs[rd] = regs[rs] << (rt & 7);
+    pc = (pc + 1) & 63;
+    steps--;
+    count++;
+  }
+  return count;
+}
+
+int bench(void) {
+  loadProgram();
+  int n = interpret(192);
+  int i;
+  int sum = 0;
+  for (i = 0; i < 32; i++) sum += regs[i] ^ i;
+  for (i = 0; i < 64; i++) sum += memory[i] & 255;
+  return sum + n;
+}
+`,
+}
+
+var spec129compress = &Workload{
+	Name:      "129.compress",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+unsigned char input[256];
+int htab[512];
+int codetab[512];
+unsigned char output[256];
+
+void genInput(void) {
+  int i;
+  for (i = 0; i < 256; i++) input[i] = (unsigned char)(((i * i) >> 3) & 15);
+}
+
+/* The LZW inner loop: hash probe, conditional insert — dependent
+   loads/stores through a hash table. */
+int compress(int n) {
+  int i;
+  int ent = input[0];
+  int freeCode = 257;
+  int outPos = 0;
+  for (i = 1; i < n; i++) {
+    int ch = input[i];
+    int key = (ch << 9) ^ ent;
+    int h = key & 511;
+    int found = 0;
+    int probes = 0;
+    while (probes < 4) {
+      if (htab[h] == key + 1) { found = 1; break; }
+      if (htab[h] == 0) break;
+      h = (h + 1) & 511;
+      probes++;
+    }
+    if (found) {
+      ent = codetab[h];
+    } else {
+      if (htab[h] == 0) {
+        htab[h] = key + 1;
+        codetab[h] = freeCode;
+        freeCode++;
+      }
+      output[outPos] = (unsigned char)(ent & 255);
+      outPos++;
+      ent = ch;
+    }
+  }
+  output[outPos] = (unsigned char)(ent & 255);
+  outPos++;
+  return outPos;
+}
+
+int bench(void) {
+  genInput();
+  int n = compress(256);
+  int i;
+  int sum = n * 1000;
+  for (i = 0; i < n; i++) sum += output[i] * (i + 1);
+  return sum;
+}
+`,
+}
+
+var spec130li = &Workload{
+	Name:      "130.li",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+/* A cons-cell heap in parallel arrays: car/cdr chains are the lisp
+   interpreter's dominant memory pattern. */
+int car[256];
+int cdr[256];
+int freeList;
+
+void initHeap(void) {
+  int i;
+  for (i = 0; i < 255; i++) cdr[i] = i + 1;
+  cdr[255] = -1;
+  freeList = 0;
+}
+
+int cons(int a, int d) {
+  int cell = freeList;
+  freeList = cdr[cell];
+  car[cell] = a;
+  cdr[cell] = d;
+  return cell;
+}
+
+int buildList(int n) {
+  int lst = -1;
+  int i;
+  for (i = n - 1; i >= 0; i--) lst = cons(i * 3, lst);
+  return lst;
+}
+
+int sumList(int lst) {
+  int s = 0;
+  while (lst >= 0) {
+    s += car[lst];
+    lst = cdr[lst];
+  }
+  return s;
+}
+
+int reverseList(int lst) {
+  int prev = -1;
+  while (lst >= 0) {
+    int next = cdr[lst];
+    cdr[lst] = prev;
+    prev = lst;
+    lst = next;
+  }
+  return prev;
+}
+
+int bench(void) {
+  initHeap();
+  int lst = buildList(100);
+  int s1 = sumList(lst);
+  int rev = reverseList(lst);
+  int s2 = sumList(rev);
+  return s1 * 2 + s2 + rev;
+}
+`,
+}
+
+var spec132ijpeg = &Workload{
+	Name:      "132.ijpeg",
+	Entry:     "bench",
+	Pipelined: true,
+	Source: `
+unsigned char src[400]; /* 20x20 */
+unsigned char dst[400];
+int hist[16];
+
+void genImage(void) {
+  int i;
+  for (i = 0; i < 400; i++) src[i] = (unsigned char)((i * 37) & 255);
+}
+
+/* The 3x3 smoothing convolution of ijpeg's h2v2 downsample path:
+   neighbourhood reads, disjoint output writes. */
+void smooth(unsigned char *in, unsigned char *out) {
+  #pragma independent in out
+  int r;
+  int c;
+  for (r = 1; r < 19; r++) {
+    for (c = 1; c < 19; c++) {
+      int idx = r * 20 + c;
+      int acc = in[idx] * 4
+              + in[idx - 1] + in[idx + 1]
+              + in[idx - 20] + in[idx + 20];
+      out[idx] = (unsigned char)(acc >> 3);
+    }
+  }
+}
+
+void histogram(void) {
+  int i;
+  for (i = 0; i < 400; i++) hist[dst[i] >> 4]++;
+}
+
+int bench(void) {
+  genImage();
+  smooth(src, dst);
+  histogram();
+  int i;
+  int sum = 0;
+  for (i = 0; i < 16; i++) sum = sum * 7 + hist[i];
+  return sum;
+}
+`,
+}
+
+var spec134perl = &Workload{
+	Name:      "134.perl",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+char text[512];
+int buckets[64];
+int counts[64];
+
+void genText(void) {
+  int i;
+  for (i = 0; i < 511; i++) {
+    int v = (i * 31 + 7) & 31;
+    if (v < 26) text[i] = (char)('a' + v);
+    else text[i] = ' ';
+  }
+  text[511] = 0;
+}
+
+/* The hv_fetch shape: scan words, hash them, count in a small table. */
+int hashWords(const char *s) {
+  #pragma independent s buckets
+  int i = 0;
+  int words = 0;
+  while (s[i]) {
+    /* skip separators */
+    while (s[i] == ' ') i++;
+    if (!s[i]) break;
+    unsigned h = 5381;
+    while (s[i] && s[i] != ' ') {
+      h = h * 33 + (unsigned)s[i];
+      i++;
+    }
+    int b = (int)(h & 63);
+    buckets[b] = (int)h;
+    counts[b]++;
+    words++;
+  }
+  return words;
+}
+
+int bench(void) {
+  genText();
+  int w = hashWords(text);
+  int i;
+  int sum = w * 100;
+  for (i = 0; i < 64; i++) sum += counts[i] * (i + 1) + (buckets[i] & 15);
+  return sum;
+}
+`,
+}
+
+var spec147vortex = &Workload{
+	Name:      "147.vortex",
+	Entry:     "bench",
+	Pipelined: false,
+	Source: `
+/* An object store in parallel arrays: insert, index, and query records —
+   vortex's transactional memory traffic. */
+int ids[128];
+int vals[128];
+int links[128];
+int index0[64];
+int numRecs;
+
+void dbInit(void) {
+  int i;
+  numRecs = 0;
+  for (i = 0; i < 64; i++) index0[i] = -1;
+}
+
+void dbInsert(int id, int v) {
+  int slot = numRecs;
+  numRecs = numRecs + 1;
+  ids[slot] = id;
+  vals[slot] = v;
+  int b = id & 63;
+  links[slot] = index0[b];
+  index0[b] = slot;
+}
+
+int dbLookup(int id) {
+  int b = id & 63;
+  int cur = index0[b];
+  while (cur >= 0) {
+    if (ids[cur] == id) return vals[cur];
+    cur = links[cur];
+  }
+  return -1;
+}
+
+int bench(void) {
+  dbInit();
+  int i;
+  for (i = 0; i < 128; i++) {
+    dbInsert((i * 37) & 127, i * 11);
+  }
+  int sum = 0;
+  for (i = 0; i < 128; i++) {
+    int v = dbLookup(i);
+    if (v >= 0) sum += v;
+    else sum -= 1;
+  }
+  return sum + numRecs;
+}
+`,
+}

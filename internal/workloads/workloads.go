@@ -1,0 +1,98 @@
+// Package workloads holds the benchmark kernels used to reproduce the
+// paper's evaluation. The paper compiled selected functions from
+// MediaBench and SPECint'95 (Table 2); those suites are proprietary
+// source trees we substitute with synthetic kernels of the same names
+// that reproduce each benchmark family's *memory-access shape* — the
+// property Figures 18 and 19 actually measure (redundant loads/stores,
+// disjoint arrays, monotone induction stores, fixed dependence distances,
+// pointer-based traversals, lookup tables). See DESIGN.md's substitution
+// table.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"spatial/internal/cminor"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name matches the paper's Table 2 row.
+	Name string
+	// Source is the cMinor program text.
+	Source string
+	// Entry is the function the harness runs; it takes no arguments and
+	// returns a checksum.
+	Entry string
+	// Pipelined marks kernels whose dominant loops the paper's Section 6
+	// transformations apply to.
+	Pipelined bool
+}
+
+// Parse parses and checks the workload.
+func (w *Workload) Parse() (*cminor.Program, error) {
+	prog, err := cminor.Parse(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	if err := cminor.Check(prog); err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return prog, nil
+}
+
+// Stats returns Table 2 style counts: functions, source lines, and
+// pragma occurrences.
+func (w *Workload) Stats() (funcs, lines, pragmas int) {
+	prog, err := w.Parse()
+	if err != nil {
+		return 0, 0, 0
+	}
+	for _, f := range prog.Funcs {
+		if f.Body != nil {
+			funcs++
+			pragmas += len(f.Pragmas)
+		}
+	}
+	for _, ln := range strings.Split(w.Source, "\n") {
+		if strings.TrimSpace(ln) != "" {
+			lines++
+		}
+	}
+	return funcs, lines, pragmas
+}
+
+// All returns every workload in Table 2 order.
+func All() []*Workload {
+	return []*Workload{
+		adpcmE, adpcmD, gsmE, gsmD, epicE, epicD,
+		mpeg2E, mpeg2D, jpegE, jpegD, pegwitE, pegwitD,
+		g721E, g721D, mesa,
+		spec099go, spec124m88ksim, spec129compress, spec130li,
+		spec132ijpeg, spec134perl, spec147vortex,
+	}
+}
+
+// ByName returns the named workload or nil.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// PipelinedSubset returns the kernels whose dominant loops the Section 6
+// transformations target — the interesting population for pipelining
+// ablations.
+func PipelinedSubset() []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if w.Pipelined {
+			out = append(out, w)
+		}
+	}
+	return out
+}

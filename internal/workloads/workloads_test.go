@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"testing"
+
+	"spatial/internal/build"
+	"spatial/internal/dataflow"
+	"spatial/internal/interp"
+	"spatial/internal/memsys"
+	"spatial/internal/opt"
+)
+
+func TestAllWorkloadsParse(t *testing.T) {
+	for _, w := range All() {
+		if _, err := w.Parse(); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+func TestWorkloadStats(t *testing.T) {
+	for _, w := range All() {
+		funcs, lines, _ := w.Stats()
+		if funcs < 2 {
+			t.Errorf("%s: only %d functions", w.Name, funcs)
+		}
+		if lines < 20 {
+			t.Errorf("%s: only %d lines", w.Name, lines)
+		}
+	}
+}
+
+func TestSomeWorkloadsHavePragmas(t *testing.T) {
+	total := 0
+	for _, w := range All() {
+		_, _, pragmas := w.Stats()
+		total += pragmas
+	}
+	if total < 5 {
+		t.Errorf("only %d pragma annotations across the suite", total)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("adpcm_e") == nil {
+		t.Error("adpcm_e missing")
+	}
+	if ByName("nope") != nil {
+		t.Error("unexpected workload")
+	}
+}
+
+// TestWorkloadsCorrectAtAllLevels is the suite-wide differential test:
+// every workload must produce the same checksum on the dataflow machine
+// at every optimization level as the sequential interpreter.
+func TestWorkloadsCorrectAtAllLevels(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := w.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want int64
+			haveWant := false
+			for _, level := range []opt.Level{opt.None, opt.Medium, opt.Full} {
+				p, err := build.Compile(prog)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				if err := opt.OptimizeAt(p, level); err != nil {
+					t.Fatalf("optimize(%v): %v", level, err)
+				}
+				if !haveWant {
+					it := interp.New(p, memsys.PerfectConfig())
+					res, err := it.Run(w.Entry, nil)
+					if err != nil {
+						t.Fatalf("interp: %v", err)
+					}
+					want = res.Value
+					haveWant = true
+				}
+				res, err := dataflow.Run(p, w.Entry, nil, dataflow.DefaultConfig())
+				if err != nil {
+					t.Fatalf("dataflow(%v): %v", level, err)
+				}
+				if res.Value != want {
+					t.Errorf("level %v: checksum %d, want %d", level, res.Value, want)
+				}
+			}
+		})
+	}
+}
+
+func TestPipelinedSubset(t *testing.T) {
+	ws := PipelinedSubset()
+	if len(ws) < 5 || len(ws) >= len(All()) {
+		t.Errorf("pipelined subset size = %d", len(ws))
+	}
+	for _, w := range ws {
+		if !w.Pipelined {
+			t.Errorf("%s not marked pipelined", w.Name)
+		}
+	}
+}

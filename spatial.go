@@ -1,0 +1,40 @@
+// Package spatial is a Go implementation of spatial computation: the
+// CASH compiler (ASPLOS 2004) that translates C programs into Pegasus
+// dataflow graphs executed directly as hardware-like circuits, together
+// with the memory-access optimizations of "Optimizing Memory Accesses for
+// Spatial Computation" — an SSA-based token network for memory
+// dependences, predicate-driven redundancy elimination, and loop
+// pipelining with token generators.
+//
+// The root package re-exports the high-level API from internal/core:
+//
+//	cp, err := spatial.Compile(src, spatial.Options{Level: opt.Full})
+//	res, err := cp.Run("bench", nil)
+//
+// See README.md for the architecture overview and EXPERIMENTS.md for the
+// paper-reproduction results.
+package spatial
+
+import (
+	"spatial/internal/core"
+	"spatial/internal/opt"
+)
+
+// Options configures compilation (see core.Options).
+type Options = core.Options
+
+// Compiled is a compiled program (see core.Compiled).
+type Compiled = core.Compiled
+
+// Optimization levels re-exported for convenience.
+const (
+	OptNone   = opt.None
+	OptBasic  = opt.Basic
+	OptMedium = opt.Medium
+	OptFull   = opt.Full
+)
+
+// Compile parses, checks, builds, and optimizes a cMinor program.
+func Compile(src string, o Options) (*Compiled, error) {
+	return core.CompileSource(src, o)
+}

@@ -1,0 +1,65 @@
+package spatial_test
+
+import (
+	"testing"
+
+	"spatial"
+)
+
+// TestPublicAPI exercises the root package exactly as the README does.
+func TestPublicAPI(t *testing.T) {
+	cp, err := spatial.Compile(`
+int squares[64];
+int sumOfSquares(int n) {
+  int i; int s = 0;
+  for (i = 0; i < n; i++) squares[i] = i * i;
+  for (i = 0; i < n; i++) s += squares[i];
+  return s;
+}`, spatial.Options{Level: spatial.OptFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cp.Run("sumOfSquares", []int64{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := int64(0); i < 64; i++ {
+		want += i * i
+	}
+	if res.Value != want {
+		t.Errorf("sumOfSquares(64) = %d, want %d", res.Value, want)
+	}
+	seq, err := cp.RunSequential("sumOfSquares", []int64{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Value != want {
+		t.Errorf("sequential = %d, want %d", seq.Value, want)
+	}
+	if res.Stats.Cycles >= seq.SeqCycles {
+		t.Logf("note: spatial %d cycles vs sequential %d", res.Stats.Cycles, seq.SeqCycles)
+	}
+}
+
+func TestPublicAPILevels(t *testing.T) {
+	src := `int g; int f(int x) { g = x; g = g + 1; return g; }`
+	for name, lv := range map[string]spatial.Options{
+		"none":   {Level: spatial.OptNone},
+		"basic":  {Level: spatial.OptBasic},
+		"medium": {Level: spatial.OptMedium},
+		"full":   {Level: spatial.OptFull},
+	} {
+		cp, err := spatial.Compile(src, lv)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := cp.Run("f", []int64{41})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Value != 42 {
+			t.Errorf("%s: f(41) = %d, want 42", name, res.Value)
+		}
+	}
+}
