@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test bench examples
+
+all: check
+
+# check is the tier-1 gate: formatting, vet, build, tests.
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+examples:
+	@for d in examples/*/; do \
+		echo "== $$d =="; $(GO) run ./$$d || exit 1; \
+	done

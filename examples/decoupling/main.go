@@ -7,10 +7,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"regexp"
 
-	"spatial/internal/core"
-	"spatial/internal/opt"
-	"spatial/internal/pegasus"
+	"spatial"
 )
 
 const example = `
@@ -43,27 +42,29 @@ int bench(void) {
 `
 
 func main() {
-	withTk, err := core.CompileSource(example, core.Options{Level: opt.Full})
+	withTk, err := spatial.Compile(example, spatial.WithLevel(spatial.OptFull))
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Disable decoupling for the comparison point.
-	noTkOpts := opt.LevelOptions(opt.Full)
+	noTkOpts := spatial.LevelPasses(spatial.OptFull)
 	noTkOpts.LoopDecouple = false
-	noTk, err := core.CompileSource(example, core.Options{Passes: &noTkOpts})
+	noTk, err := spatial.Compile(example, spatial.WithPasses(noTkOpts))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Show the token generator in the decoupled graph.
-	g := withTk.Graph("shift")
-	for _, n := range g.Nodes {
-		if !n.Dead && n.Kind == pegasus.KTokenGen {
-			fmt.Printf("loop decoupling inserted a token generator tk(%d)\n", n.TokN)
-		}
+	// Show the token generator in the decoupled graph; the dump prints
+	// it as tk(n).
+	dump, err := withTk.Dump("shift")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tk := range regexp.MustCompile(`tk\(\d+\)`).FindAllString(dump, -1) {
+		fmt.Printf("loop decoupling inserted a token generator %s\n", tk)
 	}
 
-	run := func(cp *core.Compiled, label string) int64 {
+	run := func(cp *spatial.Compiled, label string) int64 {
 		res, err := cp.Run("bench", nil)
 		if err != nil {
 			log.Fatal(err)

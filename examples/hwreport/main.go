@@ -8,36 +8,28 @@ import (
 	"fmt"
 	"log"
 
-	"spatial/internal/build"
-	"spatial/internal/dataflow"
-	"spatial/internal/hw"
-	"spatial/internal/opt"
-	"spatial/internal/workloads"
+	"spatial"
 )
 
 func main() {
-	w := workloads.ByName("mesa")
-	prog, err := w.Parse()
-	if err != nil {
-		log.Fatal(err)
+	w := spatial.WorkloadByName("mesa")
+	if w == nil {
+		log.Fatal("no such workload: mesa")
 	}
-	for _, level := range []opt.Level{opt.None, opt.Full} {
-		p, err := build.Compile(prog)
+	for _, level := range []spatial.Level{spatial.OptNone, spatial.OptFull} {
+		cp, err := spatial.Compile(w.Source, spatial.WithLevel(level))
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := opt.OptimizeAt(p, level); err != nil {
-			log.Fatal(err)
-		}
 		var area int64
-		for _, r := range hw.EstimateProgram(p) {
+		for _, r := range spatial.EstimateHardware(cp) {
 			area += r.Area
 		}
 		fmt.Printf("mesa at -O %-6v: %8d gate equivalents\n", level, area)
-		if level == opt.Full {
+		if level == spatial.OptFull {
 			fmt.Println("\nper-function circuit estimate:")
-			fmt.Print(hw.Format(hw.EstimateProgram(p)))
-			res, prof, err := dataflow.RunProfiled(p, w.Entry, nil, dataflow.DefaultConfig())
+			fmt.Print(spatial.FormatHardware(spatial.EstimateHardware(cp)))
+			res, prof, err := cp.RunProfiled(w.Entry, nil)
 			if err != nil {
 				log.Fatal(err)
 			}

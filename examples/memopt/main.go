@@ -8,8 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"spatial/internal/core"
-	"spatial/internal/opt"
+	"spatial"
 )
 
 const example = `
@@ -27,27 +26,26 @@ func main() {
 
 	stages := []struct {
 		label string
-		opts  opt.Options
+		opts  spatial.Passes
 	}{
-		{"A: initial token network (program order)", opt.LevelOptions(opt.None)},
-		{"B: after address disambiguation (a[i] vs a[i+1] commute)", func() opt.Options {
-			o := opt.LevelOptions(opt.Basic)
+		{"A: initial token network (program order)", spatial.LevelPasses(spatial.OptNone)},
+		{"B: after address disambiguation (a[i] vs a[i+1] commute)", func() spatial.Passes {
+			o := spatial.LevelPasses(spatial.OptBasic)
 			o.TokenRemoval = true
 			o.TransitiveReduction = true
 			return o
 		}()},
-		{"C: after load-after-store forwarding (load -> mux)", func() opt.Options {
-			o := opt.LevelOptions(opt.Basic)
+		{"C: after load-after-store forwarding (load -> mux)", func() spatial.Passes {
+			o := spatial.LevelPasses(spatial.OptBasic)
 			o.TokenRemoval = true
 			o.TransitiveReduction = true
 			o.LoadAfterStore = true
 			return o
 		}()},
-		{"D: after store-before-store removal (dead stores gone)", opt.LevelOptions(opt.Full)},
+		{"D: after store-before-store removal (dead stores gone)", spatial.LevelPasses(spatial.OptFull)},
 	}
 	for _, st := range stages {
-		o := st.opts
-		cp, err := core.CompileSource(example, core.Options{Passes: &o})
+		cp, err := spatial.Compile(example, spatial.WithPasses(st.opts))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,7 +54,7 @@ func main() {
 	}
 
 	fmt.Println("\nFinal graph (compare with the paper's Figure 1D):")
-	cp, err := core.CompileSource(example, core.Options{Level: opt.Full})
+	cp, err := spatial.Compile(example, spatial.WithLevel(spatial.OptFull))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,9 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	"spatial/internal/core"
-	"spatial/internal/memsys"
-	"spatial/internal/opt"
+	"spatial"
 )
 
 const example = `
@@ -45,25 +43,26 @@ func main() {
 	fmt.Printf("%-8s %-20s %12s %9s\n", "level", "memory", "cycles", "speedup")
 	mems := []struct {
 		name string
-		cfg  core.SimConfig
+		cfg  spatial.MemConfig
 	}{
-		{"perfect(2-port)", withMem(core.PerfectMemory())},
-		{"realistic(1-port)", withMem(core.PaperMemory(1))},
-		{"realistic(2-port)", withMem(core.PaperMemory(2))},
-		{"realistic(4-port)", withMem(core.PaperMemory(4))},
+		{"perfect(2-port)", spatial.PerfectMemory()},
+		{"realistic(1-port)", spatial.PaperMemory(1)},
+		{"realistic(2-port)", spatial.PaperMemory(2)},
+		{"realistic(4-port)", spatial.PaperMemory(4)},
 	}
 	for _, m := range mems {
 		var base int64
-		for _, lv := range []opt.Level{opt.None, opt.Medium} {
-			cp, err := core.CompileSource(example, core.Options{Level: lv})
+		for _, lv := range []spatial.Level{spatial.OptNone, spatial.OptMedium} {
+			cp, err := spatial.Compile(example,
+				spatial.WithLevel(lv), spatial.WithMemory(m.cfg))
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := cp.RunWith("bench", nil, m.cfg)
+			res, err := cp.Run("bench", nil)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if lv == opt.None {
+			if lv == spatial.OptNone {
 				base = res.Stats.Cycles
 			}
 			fmt.Printf("%-8v %-20s %12d %8.2fx\n",
@@ -72,10 +71,4 @@ func main() {
 	}
 	fmt.Println("\nThe Medium level splits the src and dst token circuits so the")
 	fmt.Println("producer reads slip ahead of the consumer writes (Figure 10c).")
-}
-
-func withMem(m memsys.Config) core.SimConfig {
-	cfg := core.DefaultSim()
-	cfg.Mem = m
-	return cfg
 }

@@ -7,8 +7,7 @@ import (
 	"fmt"
 	"log"
 
-	"spatial/internal/core"
-	"spatial/internal/opt"
+	"spatial"
 )
 
 const program = `
@@ -25,7 +24,7 @@ int sumOfSquares(int n) {
 
 func main() {
 	// Compile at full optimization (all the paper's memory passes).
-	cp, err := core.CompileSource(program, core.Options{Level: opt.Full})
+	cp, err := spatial.Compile(program, spatial.WithLevel(spatial.OptFull))
 	if err != nil {
 		log.Fatal(err)
 	}

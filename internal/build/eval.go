@@ -1,0 +1,169 @@
+package build
+
+import (
+	"spatial/internal/alias"
+	"spatial/internal/cminor"
+	"spatial/internal/pegasus"
+)
+
+// chainFor returns the token chain ordering accesses to rw, or nil when
+// the access needs no ordering: immutable objects never change, so their
+// reads commute with everything (Section 4.2).
+func (b *fnBuilder) chainFor(rw alias.Set) (alias.ClassID, *tokChain) {
+	if rw.Empty() || b.an.IsConstSet(rw) {
+		return -1, nil
+	}
+	cl := b.an.ClassOf(rw.Elems()[0])
+	return cl, b.tok[cl]
+}
+
+// chainRead joins n into ch as a read: it waits on the whole write
+// frontier (never on other reads) and covers it.
+func chainRead(ch *tokChain, n *pegasus.Node) {
+	for _, w := range ch.writes {
+		n.AddTok(w)
+		ch.covered[w] = true
+	}
+	ch.reads = append(ch.reads, pegasus.T(n))
+}
+
+// chainWrite joins n into ch as a write: it collects the outstanding
+// reads (write-after-read) plus any writes no read covers
+// (write-after-write) and becomes the new one-element frontier.
+func chainWrite(ch *tokChain, n *pegasus.Node) {
+	for _, r := range ch.reads {
+		n.AddTok(r)
+	}
+	for _, w := range ch.writes {
+		if !ch.covered[w] {
+			n.AddTok(w)
+		}
+	}
+	ch.writes = []pegasus.Ref{pegasus.T(n)}
+	ch.reads = nil
+	ch.covered = map[pegasus.Ref]bool{}
+}
+
+// load creates a predicated load ordered after the write frontier of
+// its location class. Tokenless (immutable) accesses carry Class -1 so
+// the pipeline pass never pulls them into a token circuit.
+func (b *fnBuilder) load(addr pegasus.Ref, bytes int, signed bool, rw alias.Set) *pegasus.Node {
+	n := b.g.NewNode(pegasus.KLoad, b.hyper)
+	n.VT = pegasus.VType{Bits: bytes * 8, Signed: signed}
+	n.Ins = []pegasus.Ref{addr}
+	n.Preds = []pegasus.Ref{pegasus.V(b.pred)}
+	n.Bytes = bytes
+	n.RW = rw
+	n.Pos = b.pos
+	n.Class = -1
+	if cl, ch := b.chainFor(rw); ch != nil {
+		n.Class = cl
+		chainRead(ch, n)
+	}
+	return n
+}
+
+// store creates a predicated store succeeding every outstanding
+// access of its class.
+func (b *fnBuilder) store(addr, val pegasus.Ref, bytes int, rw alias.Set) *pegasus.Node {
+	n := b.g.NewNode(pegasus.KStore, b.hyper)
+	n.Ins = []pegasus.Ref{addr, val}
+	n.Preds = []pegasus.Ref{pegasus.V(b.pred)}
+	n.Bytes = bytes
+	n.RW = rw
+	n.Pos = b.pos
+	n.Class = -1
+	if cl, ch := b.chainFor(rw); ch != nil {
+		n.Class = cl
+		chainWrite(ch, n)
+	}
+	return n
+}
+
+// emitCall lowers a call: arguments are converted to the parameter types
+// (the activation receives them raw), and the call joins the token chain
+// of every class it touches — like a store for classes it may write, like
+// a load for classes it only reads.
+func (b *fnBuilder) emitCall(e *cminor.CallExpr) pegasus.Ref {
+	var ins []pegasus.Ref
+	for i, a := range e.Args {
+		ins = append(ins, b.conv(b.lowerExpr(a), e.Func.Params[i].Type))
+	}
+	n := b.g.NewNode(pegasus.KCall, b.hyper)
+	n.Callee = e.Func
+	n.Ins = ins
+	n.Preds = []pegasus.Ref{pegasus.V(b.pred)}
+	n.Pos = b.pos
+	n.Reads = b.an.FuncReads(e.Func)
+	n.Writes = b.an.FuncWrites(e.Func)
+	rw := n.Reads.Clone()
+	rw.Union(n.Writes)
+	n.RW = rw
+
+	written := map[alias.ClassID]bool{}
+	for _, o := range n.Writes.Elems() {
+		written[b.an.ClassOf(o)] = true
+	}
+	read := map[alias.ClassID]bool{}
+	for _, o := range n.Reads.Elems() {
+		read[b.an.ClassOf(o)] = true
+	}
+	for _, cl := range b.classes {
+		ch := b.tok[cl]
+		switch {
+		case written[cl]:
+			chainWrite(ch, n)
+		case read[cl]:
+			chainRead(ch, n)
+		}
+	}
+	if e.Func.Ret.Kind != cminor.TypeVoid {
+		n.VT = pegasus.VTypeOf(e.Func.Ret)
+		return pegasus.V(n)
+	}
+	return pegasus.Ref{}
+}
+
+// boundaries collapses the per-class token state to a single token per
+// class for an edge leaving the hyperblock (or closing a loop): etas and
+// return sites carry exactly one token. Mutating the chains keeps
+// repeated snapshots (one per out edge) consistent.
+func (b *fnBuilder) boundaries() map[alias.ClassID]pegasus.Ref {
+	out := make(map[alias.ClassID]pegasus.Ref, len(b.classes))
+	for _, cl := range b.classes {
+		ch := b.tok[cl]
+		frontier := append([]pegasus.Ref(nil), ch.reads...)
+		for _, w := range ch.writes {
+			if !ch.covered[w] {
+				frontier = append(frontier, w)
+			}
+		}
+		if len(frontier) == 1 {
+			out[cl] = frontier[0]
+			continue
+		}
+		comb := b.g.NewNode(pegasus.KCombine, b.hyper)
+		comb.TokClass = cl
+		comb.Toks = frontier
+		out[cl] = pegasus.T(comb)
+		ch.writes = []pegasus.Ref{pegasus.T(comb)}
+		ch.reads = nil
+		ch.covered = map[pegasus.Ref]bool{}
+	}
+	return out
+}
+
+// spillParams stores address-taken parameters into their frame objects at
+// procedure entry, mirroring the interpreter's calling convention (the
+// dataflow activation only populates register params).
+func (b *fnBuilder) spillParams() {
+	for i, p := range b.fn.Params {
+		obj, mem := b.an.ObjectOf(p)
+		if !mem {
+			continue
+		}
+		b.pos = p.Pos
+		b.store(pegasus.V(b.addrOfNode(obj)), pegasus.V(b.g.Params[i]),
+			int(p.Type.Decay().Size()), alias.SetOf(obj))
+	}
+}

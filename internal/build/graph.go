@@ -1,0 +1,691 @@
+package build
+
+import (
+	"sort"
+
+	"spatial/internal/alias"
+	"spatial/internal/cfg"
+	"spatial/internal/cminor"
+	"spatial/internal/pegasus"
+)
+
+// snap records the builder state at one outgoing CFG edge: the edge
+// predicate in the source hyperblock, the register environment, and the
+// token state. Edges staying inside a hyperblock carry the full chain
+// state (chains); edges crossing a hyperblock boundary or closing a loop
+// collapse each class to a single token (toks) because etas carry exactly
+// one.
+type snap struct {
+	pred   *pegasus.Node
+	hyper  int
+	env    map[*cminor.VarDecl]pegasus.Ref
+	toks   map[alias.ClassID]pegasus.Ref
+	chains map[alias.ClassID]*tokChain
+}
+
+// headerInfo holds a loop hyperblock's merge nodes so back edges, which
+// are reached later in the walk, can append their etas.
+type headerInfo struct {
+	waveMerge *pegasus.Node
+	varMerge  map[*cminor.VarDecl]*pegasus.Node
+	tokMerge  map[alias.ClassID]*pegasus.Node
+	backPreds []*pegasus.Node
+}
+
+// retSite is one TermRet block: its predicate, converted return value,
+// and token boundary, which the exit hyperblock merges together.
+type retSite struct {
+	hyper int
+	pred  *pegasus.Node
+	val   pegasus.Ref
+	toks  map[alias.ClassID]pegasus.Ref
+}
+
+// tokChain is the running token state of one location class along the
+// current control path. Sibling branches of a hyperblock fork this state
+// and joins union it (every operation fires each wave, squashed or not,
+// so tokens from all branches arrive): writes is the current write
+// frontier, reads the loads issued against it, and covered marks frontier
+// writes some read already succeeds. Loads wait on the whole write
+// frontier (never on other reads); stores collect the outstanding reads
+// plus any still-uncovered writes.
+type tokChain struct {
+	writes  []pegasus.Ref
+	reads   []pegasus.Ref
+	covered map[pegasus.Ref]bool
+}
+
+type constKey struct {
+	val    int64
+	bits   int
+	signed bool
+}
+
+type boolKey struct {
+	n     *pegasus.Node
+	hyper int
+}
+
+type fnBuilder struct {
+	an *alias.Analysis
+	fn *cminor.FuncDecl
+	cg *cfg.Graph
+	g  *pegasus.Graph
+
+	exitHyper int
+	classes   []alias.ClassID
+	vars      []*cminor.VarDecl
+	maxRead   map[*cminor.VarDecl]int
+
+	params   map[*cminor.VarDecl]*pegasus.Node
+	truePred []*pegasus.Node
+	pathPred map[*cfg.Block]*pegasus.Node
+	inSnaps  map[*cfg.Block][]*snap
+	headers  map[*cfg.Block]*headerInfo
+	consts   map[constKey]*pegasus.Node
+	addrs    map[alias.ObjID]*pegasus.Node
+	bools    map[boolKey]*pegasus.Node
+
+	retSites []retSite
+
+	// Walking state for the current block.
+	hyper int
+	pred  *pegasus.Node
+	pos   cminor.Pos
+	env   map[*cminor.VarDecl]pegasus.Ref
+	tok   map[alias.ClassID]*tokChain
+}
+
+func (b *fnBuilder) build() {
+	for _, hb := range b.cg.Hypers {
+		b.g.NewHyper(hb.IsLoopHeader)
+	}
+	b.exitHyper = len(b.g.Hypers)
+	b.g.NewHyper(false)
+	b.truePred = make([]*pegasus.Node, len(b.g.Hypers))
+
+	b.g.Entry = b.g.NewNode(pegasus.KEntryTok, 0)
+	for i, p := range b.fn.Params {
+		n := b.g.NewNode(pegasus.KParam, 0)
+		n.ParamIdx = i
+		n.VT = pegasus.VTypeOf(p.Type.Decay())
+		n.Pos = p.Pos
+		b.g.Params = append(b.g.Params, n)
+		b.params[p] = n
+	}
+	b.collectVars()
+	b.collectClasses()
+
+	for _, hb := range b.cg.Hypers {
+		b.buildHyper(hb)
+	}
+	b.setLoopPreds()
+	b.buildReturn()
+}
+
+// collectVars gathers the register-resident variables in a deterministic
+// order and records, per variable, the highest hyperblock that reads it;
+// merges circulate a variable only through hyperblocks at or below that
+// bound.
+func (b *fnBuilder) collectVars() {
+	b.maxRead = map[*cminor.VarDecl]int{}
+	isReg := func(v *cminor.VarDecl) bool {
+		_, mem := b.an.ObjectOf(v)
+		return !mem
+	}
+	for _, p := range b.fn.Params {
+		if isReg(p) {
+			b.vars = append(b.vars, p)
+		}
+	}
+	for _, l := range b.fn.Locals {
+		if isReg(l) {
+			b.vars = append(b.vars, l)
+		}
+	}
+	note := func(e cminor.Expr, h int) {
+		eachVarRead(e, func(d *cminor.VarDecl) {
+			if isReg(d) && b.maxRead[d] < h {
+				b.maxRead[d] = h
+			}
+		})
+	}
+	for _, blk := range b.cg.Blocks {
+		h := blk.Hyper.ID
+		for _, ins := range blk.Instrs {
+			note(ins.RHS, h)
+			// The LHS root is a definition, but index and pointer
+			// subexpressions of a memory lvalue are reads.
+			switch lv := ins.LHS.(type) {
+			case *cminor.IndexExpr:
+				note(lv.Array, h)
+				note(lv.Index, h)
+			case *cminor.DerefExpr:
+				note(lv.X, h)
+			}
+		}
+		if blk.Term.Cond != nil {
+			note(blk.Term.Cond, h)
+		}
+		if blk.Term.Ret != nil {
+			note(blk.Term.Ret, h)
+		}
+	}
+	// Loop-carried liveness: a variable live into a loop header's merges
+	// must circulate through every hyperblock of the loop, so the back
+	// edges from the latches can return it. Extend each read bound that
+	// lands inside a loop to the loop's last hyperblock, to fixpoint
+	// (loops nest).
+	type span struct{ header, max int }
+	var spans []span
+	for _, l := range b.cg.Loops {
+		s := span{header: l.Header.Hyper.ID, max: l.Header.Hyper.ID}
+		for blk := range l.Blocks {
+			if blk.Hyper.ID > s.max {
+				s.max = blk.Hyper.ID
+			}
+		}
+		spans = append(spans, s)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, v := range b.vars {
+			for _, s := range spans {
+				if b.maxRead[v] >= s.header && b.maxRead[v] < s.max {
+					b.maxRead[v] = s.max
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// eachVarRead walks e and reports every VarRef occurrence (assignment
+// roots never reach here; the normalizer keeps assignments out of
+// expressions).
+func eachVarRead(e cminor.Expr, f func(*cminor.VarDecl)) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *cminor.VarRef:
+		f(e.Decl)
+	case *cminor.BinExpr:
+		eachVarRead(e.L, f)
+		eachVarRead(e.R, f)
+	case *cminor.UnExpr:
+		eachVarRead(e.X, f)
+	case *cminor.CondExpr:
+		eachVarRead(e.Cond, f)
+		eachVarRead(e.Then, f)
+		eachVarRead(e.Else, f)
+	case *cminor.IndexExpr:
+		eachVarRead(e.Array, f)
+		eachVarRead(e.Index, f)
+	case *cminor.DerefExpr:
+		eachVarRead(e.X, f)
+	case *cminor.AddrExpr:
+		eachVarRead(e.X, f)
+	case *cminor.CastExpr:
+		eachVarRead(e.X, f)
+	case *cminor.CallExpr:
+		for _, a := range e.Args {
+			eachVarRead(a, f)
+		}
+	case *cminor.AssignExpr:
+		eachVarRead(e.RHS, f)
+		eachVarRead(e.LHS, f)
+	case *cminor.IncDecExpr:
+		eachVarRead(e.X, f)
+	}
+}
+
+// collectClasses selects the location classes this function's token
+// network must thread: every class its transitive reads/writes touch,
+// except classes made entirely of immutable objects (const accesses need
+// no ordering, paper Section 4.2).
+func (b *fnBuilder) collectClasses() {
+	touched := b.an.FuncReads(b.fn)
+	touched.Union(b.an.FuncWrites(b.fn))
+	mutable := map[alias.ClassID]bool{}
+	for _, o := range b.an.AllObjects().Elems() {
+		// Unknown external memory is always mutable.
+		if !b.an.IsConstSet(alias.SetOf(o)) {
+			mutable[b.an.ClassOf(o)] = true
+		}
+	}
+	seen := map[alias.ClassID]bool{}
+	for _, cl := range b.an.ClassesOf(touched) {
+		if mutable[cl] && !seen[cl] {
+			seen[cl] = true
+			b.classes = append(b.classes, cl)
+		}
+	}
+	sort.Slice(b.classes, func(i, j int) bool { return b.classes[i] < b.classes[j] })
+}
+
+func (b *fnBuilder) buildHyper(hb *cfg.Hyperblock) {
+	h := hb.ID
+	b.hyper = h
+	if h == 0 {
+		b.truePred[0] = b.g.ConstPred(0, true)
+		b.env = map[*cminor.VarDecl]pegasus.Ref{}
+		for _, p := range b.fn.Params {
+			if n, ok := b.params[p]; ok {
+				if _, mem := b.an.ObjectOf(p); !mem {
+					b.env[p] = pegasus.V(n)
+				}
+			}
+		}
+		b.tok = map[alias.ClassID]*tokChain{}
+		for _, cl := range b.classes {
+			b.tok[cl] = newChain(pegasus.T(b.g.Entry))
+		}
+		b.pred = b.truePred[0]
+		b.spillParams()
+	} else {
+		b.openHyper(hb)
+	}
+	for _, blk := range hb.Blocks {
+		b.buildBlock(blk, hb)
+	}
+}
+
+// openHyper builds the control, value, and token merges of a non-entry
+// hyperblock from the snapshots of its incoming forward edges. Loop
+// headers additionally register a headerInfo so back edges can append
+// their etas when the walk reaches the latches.
+func (b *fnBuilder) openHyper(hb *cfg.Hyperblock) {
+	h := hb.ID
+	snaps := b.inSnaps[hb.Seed]
+	wm := b.g.NewNode(pegasus.KMerge, h)
+	wm.VT = pegasus.Pred
+	for _, s := range snaps {
+		eta := b.valueEta(s.hyper, s.pred, pegasus.V(b.truePred[s.hyper]), pegasus.Pred)
+		wm.Ins = append(wm.Ins, pegasus.V(eta))
+	}
+	b.g.RegisterTruePred(h, wm)
+	b.truePred[h] = wm
+	b.pred = wm
+
+	b.env = map[*cminor.VarDecl]pegasus.Ref{}
+	varMerge := map[*cminor.VarDecl]*pegasus.Node{}
+	for _, v := range b.vars {
+		if b.maxRead[v] < h {
+			continue
+		}
+		vt := pegasus.VTypeOf(v.Type.Decay())
+		m := b.g.NewNode(pegasus.KMerge, h)
+		m.VT = vt
+		for _, s := range snaps {
+			eta := b.valueEta(s.hyper, s.pred, b.snapVal(s, v), vt)
+			m.Ins = append(m.Ins, pegasus.V(eta))
+		}
+		b.env[v] = pegasus.V(m)
+		varMerge[v] = m
+	}
+
+	b.tok = map[alias.ClassID]*tokChain{}
+	tokMerge := map[alias.ClassID]*pegasus.Node{}
+	for _, cl := range b.classes {
+		tm := b.g.NewNode(pegasus.KMerge, h)
+		tm.TokenOnly = true
+		tm.TokClass = cl
+		for _, s := range snaps {
+			eta := b.tokenEta(s.hyper, s.pred, s.toks[cl], cl)
+			tm.Toks = append(tm.Toks, pegasus.T(eta))
+		}
+		b.tok[cl] = newChain(pegasus.T(tm))
+		tokMerge[cl] = tm
+	}
+
+	if hb.IsLoopHeader {
+		b.headers[hb.Seed] = &headerInfo{waveMerge: wm, varMerge: varMerge, tokMerge: tokMerge}
+	}
+}
+
+func (b *fnBuilder) buildBlock(blk *cfg.Block, hb *cfg.Hyperblock) {
+	if blk != hb.Seed {
+		b.joinBlock(blk)
+	} else {
+		b.pathPred[blk] = b.pred
+	}
+	for _, ins := range blk.Instrs {
+		b.pos = ins.Pos
+		if ins.LHS == nil {
+			b.lowerExpr(ins.RHS)
+		} else {
+			b.assign(ins.LHS, ins.RHS)
+		}
+	}
+	switch blk.Term.Kind {
+	case cfg.TermRet:
+		b.lowerReturn(blk.Term.Ret)
+	case cfg.TermGoto:
+		b.outEdge(blk.Term.Then, b.pred)
+	case cfg.TermIf:
+		c := b.boolize(b.lowerExpr(blk.Term.Cond))
+		b.outEdge(blk.Term.Then, b.g.PredAnd(b.pred, c))
+		b.outEdge(blk.Term.Else, b.g.PredAndNot(b.pred, c))
+	}
+}
+
+// joinBlock computes the path predicate and register environment of an
+// intra-hyperblock join from its incoming edge snapshots: the predicate
+// is the disjunction of the edge predicates, and each variable whose
+// definitions differ across edges gets a decoded mux keyed by them.
+func (b *fnBuilder) joinBlock(blk *cfg.Block) {
+	snaps := b.inSnaps[blk]
+	p := snaps[0].pred
+	for _, s := range snaps[1:] {
+		p = b.g.PredOr(p, s.pred)
+	}
+	b.pred = p
+	b.pathPred[blk] = p
+	b.joinToks(snaps)
+	if len(snaps) == 1 {
+		b.env = copyEnv(snaps[0].env)
+		return
+	}
+	b.env = map[*cminor.VarDecl]pegasus.Ref{}
+	for _, v := range b.vars {
+		if b.maxRead[v] < b.hyper {
+			continue
+		}
+		present := false
+		for _, s := range snaps {
+			if _, ok := s.env[v]; ok {
+				present = true
+				break
+			}
+		}
+		if !present {
+			continue
+		}
+		first := b.snapVal(snaps[0], v)
+		same := true
+		for _, s := range snaps[1:] {
+			if b.snapVal(s, v) != first {
+				same = false
+				break
+			}
+		}
+		if same {
+			b.env[v] = first
+			continue
+		}
+		mux := b.g.NewNode(pegasus.KMux, b.hyper)
+		mux.VT = pegasus.VTypeOf(v.Type.Decay())
+		for _, s := range snaps {
+			mux.Ins = append(mux.Ins, b.snapVal(s, v))
+			mux.Preds = append(mux.Preds, pegasus.V(s.pred))
+		}
+		b.env[v] = pegasus.V(mux)
+	}
+}
+
+// outEdge records the state snapshot of one CFG edge. Forward edges stash
+// it for the target's merges; back edges (the target is a loop header
+// whose merges already exist) append their etas immediately.
+func (b *fnBuilder) outEdge(to *cfg.Block, pred *pegasus.Node) {
+	s := &snap{pred: pred, hyper: b.hyper, env: copyEnv(b.env)}
+	hi := b.headers[to]
+	if hi == nil && to.Hyper.ID == b.hyper {
+		// Intra-hyperblock edge: fork the full token state so sibling
+		// branches order independently against the common frontier.
+		s.chains = copyChains(b.tok)
+		b.inSnaps[to] = append(b.inSnaps[to], s)
+		return
+	}
+	s.toks = b.boundaries()
+	if hi == nil {
+		b.inSnaps[to] = append(b.inSnaps[to], s)
+		return
+	}
+	wave := b.valueEta(s.hyper, pred, pegasus.V(b.truePred[s.hyper]), pegasus.Pred)
+	hi.waveMerge.Ins = append(hi.waveMerge.Ins, pegasus.V(wave))
+	for _, v := range b.vars {
+		m := hi.varMerge[v]
+		if m == nil {
+			continue
+		}
+		eta := b.valueEta(s.hyper, pred, b.snapVal(s, v), m.VT)
+		m.Ins = append(m.Ins, pegasus.V(eta))
+	}
+	for _, cl := range b.classes {
+		eta := b.tokenEta(s.hyper, pred, s.toks[cl], cl)
+		hi.tokMerge[cl].Toks = append(hi.tokMerge[cl].Toks, pegasus.T(eta))
+	}
+	hi.backPreds = append(hi.backPreds, pred)
+}
+
+// setLoopPreds records, per loop hyperblock, the node computing "the loop
+// takes another iteration" — defined only when every latch predicate
+// lives in the header's own hyperblock (the shape licm and the pipeline
+// passes understand).
+func (b *fnBuilder) setLoopPreds() {
+	for _, hb := range b.cg.Hypers {
+		hi := b.headers[hb.Seed]
+		if hi == nil {
+			continue
+		}
+		h := hb.ID
+		var lp *pegasus.Node
+		ok := len(hi.backPreds) > 0
+		for _, p := range hi.backPreds {
+			if p.Hyper != h {
+				ok = false
+				break
+			}
+			if lp == nil {
+				lp = p
+			} else {
+				lp = b.g.PredOr(lp, p)
+			}
+		}
+		if ok {
+			b.g.Hypers[h].LoopPred = lp
+		}
+	}
+}
+
+func (b *fnBuilder) lowerReturn(ret cminor.Expr) {
+	site := retSite{hyper: b.hyper, pred: b.pred, toks: b.boundaries()}
+	if b.fn.Ret.Kind != cminor.TypeVoid {
+		var v pegasus.Ref
+		if ret != nil {
+			v = b.lowerExpr(ret)
+		} else {
+			// Fall-off return in a non-void function yields 0.
+			v = pegasus.V(b.constNode(0, pegasus.VTypeOf(b.fn.Ret)))
+		}
+		site.val = b.conv(v, b.fn.Ret)
+	}
+	b.retSites = append(b.retSites, site)
+}
+
+// buildReturn assembles the exit hyperblock: a value merge over the
+// return sites' etas, one token merge per class combined into the
+// procedure's final token, and the KReturn node. A function with no
+// reachable return (an infinite loop) falls back to the entry token.
+func (b *fnBuilder) buildReturn() {
+	ret := b.g.NewNode(pegasus.KReturn, b.exitHyper)
+	b.g.Ret = ret
+	if len(b.retSites) == 0 {
+		ret.Toks = []pegasus.Ref{pegasus.T(b.g.Entry)}
+		return
+	}
+	if b.fn.Ret.Kind != cminor.TypeVoid {
+		m := b.g.NewNode(pegasus.KMerge, b.exitHyper)
+		m.VT = pegasus.VTypeOf(b.fn.Ret)
+		for _, s := range b.retSites {
+			eta := b.valueEta(s.hyper, s.pred, s.val, m.VT)
+			m.Ins = append(m.Ins, pegasus.V(eta))
+		}
+		ret.Ins = []pegasus.Ref{pegasus.V(m)}
+	}
+	if len(b.classes) == 0 {
+		ret.Toks = []pegasus.Ref{pegasus.T(b.g.Entry)}
+		return
+	}
+	var finals []pegasus.Ref
+	for _, cl := range b.classes {
+		tm := b.g.NewNode(pegasus.KMerge, b.exitHyper)
+		tm.TokenOnly = true
+		tm.TokClass = cl
+		for _, s := range b.retSites {
+			eta := b.tokenEta(s.hyper, s.pred, s.toks[cl], cl)
+			tm.Toks = append(tm.Toks, pegasus.T(eta))
+		}
+		finals = append(finals, pegasus.T(tm))
+	}
+	if len(finals) == 1 {
+		ret.Toks = finals
+		return
+	}
+	cmb := b.g.NewNode(pegasus.KCombine, b.exitHyper)
+	cmb.TokClass = -1
+	cmb.Toks = finals
+	ret.Toks = []pegasus.Ref{pegasus.T(cmb)}
+}
+
+// --- small node factories ---
+
+func (b *fnBuilder) valueEta(hyper int, pred *pegasus.Node, data pegasus.Ref, vt pegasus.VType) *pegasus.Node {
+	n := b.g.NewNode(pegasus.KEta, hyper)
+	n.VT = vt
+	n.Ins = []pegasus.Ref{data}
+	n.Preds = []pegasus.Ref{pegasus.V(pred)}
+	return n
+}
+
+func (b *fnBuilder) tokenEta(hyper int, pred *pegasus.Node, tok pegasus.Ref, cl alias.ClassID) *pegasus.Node {
+	n := b.g.NewNode(pegasus.KEta, hyper)
+	n.TokenOnly = true
+	n.TokClass = cl
+	n.Toks = []pegasus.Ref{tok}
+	n.Preds = []pegasus.Ref{pegasus.V(pred)}
+	return n
+}
+
+func (b *fnBuilder) constNode(val int64, vt pegasus.VType) *pegasus.Node {
+	// Predicate-typed constants go through ConstPred so the BDD tables
+	// stay canonical; everything else is interned globally (constants are
+	// static sources usable from any hyperblock).
+	if vt.Bits == 1 {
+		return b.g.ConstPred(b.hyper, val != 0)
+	}
+	k := constKey{val: val, bits: vt.Bits, signed: vt.Signed}
+	if n, ok := b.consts[k]; ok {
+		return n
+	}
+	n := b.g.NewNode(pegasus.KConst, 0)
+	n.VT = vt
+	n.ConstVal = val
+	b.consts[k] = n
+	return n
+}
+
+func (b *fnBuilder) addrOfNode(obj alias.ObjID) *pegasus.Node {
+	if n, ok := b.addrs[obj]; ok {
+		return n
+	}
+	n := b.g.NewNode(pegasus.KAddrOf, 0)
+	n.VT = pegasus.U32
+	n.Obj = obj
+	b.addrs[obj] = n
+	return n
+}
+
+// boolize turns a lowered condition into a 1-bit predicate node of the
+// current hyperblock. Values computed in other hyperblocks are wrapped in
+// a local UBool even when already 1-bit: BDD references are only
+// meaningful within one hyperblock's space.
+func (b *fnBuilder) boolize(r pegasus.Ref) *pegasus.Node {
+	n := r.N
+	if n.Kind == pegasus.KConst {
+		return b.g.ConstPred(b.hyper, n.ConstVal != 0)
+	}
+	if n.VT.Bits == 1 && n.Hyper == b.hyper {
+		return n
+	}
+	k := boolKey{n: n, hyper: b.hyper}
+	if u, ok := b.bools[k]; ok {
+		return u
+	}
+	u := b.g.NewNode(pegasus.KUnOp, b.hyper)
+	u.UnOp = pegasus.UBool
+	u.VT = pegasus.Pred
+	u.Ins = []pegasus.Ref{r}
+	b.bools[k] = u
+	return u
+}
+
+func (b *fnBuilder) snapVal(s *snap, v *cminor.VarDecl) pegasus.Ref {
+	if r, ok := s.env[v]; ok {
+		return r
+	}
+	return pegasus.V(b.constNode(0, pegasus.VTypeOf(v.Type.Decay())))
+}
+
+func copyEnv(env map[*cminor.VarDecl]pegasus.Ref) map[*cminor.VarDecl]pegasus.Ref {
+	out := make(map[*cminor.VarDecl]pegasus.Ref, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func newChain(write pegasus.Ref) *tokChain {
+	return &tokChain{writes: []pegasus.Ref{write}, covered: map[pegasus.Ref]bool{}}
+}
+
+func copyChains(tok map[alias.ClassID]*tokChain) map[alias.ClassID]*tokChain {
+	out := make(map[alias.ClassID]*tokChain, len(tok))
+	for cl, ch := range tok {
+		c := &tokChain{
+			writes:  append([]pegasus.Ref(nil), ch.writes...),
+			reads:   append([]pegasus.Ref(nil), ch.reads...),
+			covered: make(map[pegasus.Ref]bool, len(ch.covered)),
+		}
+		for r := range ch.covered {
+			c.covered[r] = true
+		}
+		out[cl] = c
+	}
+	return out
+}
+
+// joinToks rebuilds the per-class token state at an intra-hyperblock join
+// as the union of the incoming forks. Coverage unions too: a token edge
+// is structural, so a read that succeeds a write does so on every path.
+func (b *fnBuilder) joinToks(snaps []*snap) {
+	if len(snaps) == 1 {
+		b.tok = copyChains(snaps[0].chains)
+		return
+	}
+	b.tok = map[alias.ClassID]*tokChain{}
+	for _, cl := range b.classes {
+		ch := &tokChain{covered: map[pegasus.Ref]bool{}}
+		seenW := map[pegasus.Ref]bool{}
+		seenR := map[pegasus.Ref]bool{}
+		for _, s := range snaps {
+			in := s.chains[cl]
+			for _, w := range in.writes {
+				if !seenW[w] {
+					seenW[w] = true
+					ch.writes = append(ch.writes, w)
+				}
+			}
+			for _, r := range in.reads {
+				if !seenR[r] {
+					seenR[r] = true
+					ch.reads = append(ch.reads, r)
+				}
+			}
+			for w := range in.covered {
+				ch.covered[w] = true
+			}
+		}
+		b.tok[cl] = ch
+	}
+}

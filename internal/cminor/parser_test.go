@@ -380,7 +380,7 @@ void f(void) { *gp = 1; }
 
 func TestGlobalBadInitializers(t *testing.T) {
 	bad := []string{
-		"int x; int y = x;",              // value of another global: not const
+		"int x; int y = x;",                      // value of another global: not const
 		"int f(void) { return 1; } int z = f();", // call
 	}
 	for _, src := range bad {

@@ -4,13 +4,16 @@
 //
 // The typical flow:
 //
-//	cp, err := core.CompileSource(src, core.Options{Level: opt.Full})
+//	cp, err := core.CompileSource(src, core.WithLevel(opt.Full))
 //	res, err := cp.Run("bench", nil)
 //	seq, err := cp.RunSequential("bench", nil)
 //
 // CompileSource produces a Compiled program holding the optimized Pegasus
 // graphs; Run executes it on the self-timed dataflow simulator (spatial
 // computation), RunSequential on the in-order interpreter baseline.
+// Compilation is configured with functional options — WithLevel,
+// WithPasses, WithMemory — and the legacy Options struct keeps working as
+// a deprecated shim.
 package core
 
 import (
@@ -25,7 +28,48 @@ import (
 	"spatial/internal/pegasus"
 )
 
+// Option configures CompileSource.
+type Option interface {
+	apply(*config)
+}
+
+type config struct {
+	level  opt.Level
+	passes *opt.Options
+	sim    dataflow.Config
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithLevel selects an optimization preset (opt.None … opt.Full).
+func WithLevel(l opt.Level) Option {
+	return optionFunc(func(c *config) { c.level = l })
+}
+
+// WithPasses overrides the preset with explicit per-pass toggles.
+func WithPasses(p opt.Options) Option {
+	return optionFunc(func(c *config) { c.passes = &p })
+}
+
+// WithMemory selects the memory system the compiled program runs against
+// by default (Run and RunSequential); see PerfectMemory and PaperMemory.
+func WithMemory(m memsys.Config) Option {
+	return optionFunc(func(c *config) { c.sim.Mem = m })
+}
+
+// WithSim sets the full default simulator configuration (memory system,
+// edge capacity, cycle budget).
+func WithSim(s SimConfig) Option {
+	return optionFunc(func(c *config) { c.sim = s })
+}
+
 // Options configures compilation.
+//
+// Deprecated: Options is the legacy struct-style configuration, kept so
+// existing call sites compile; it implements Option. New code should pass
+// WithLevel / WithPasses / WithMemory directly.
 type Options struct {
 	// Level selects the optimization preset; use Passes to override
 	// individual passes instead.
@@ -34,15 +78,29 @@ type Options struct {
 	Passes *opt.Options
 }
 
+func (o Options) apply(c *config) {
+	c.level = o.Level
+	if o.Passes != nil {
+		c.passes = o.Passes
+	}
+}
+
 // Compiled is a fully compiled program.
 type Compiled struct {
 	Program *pegasus.Program
 	Source  *cminor.Program
 	Level   opt.Level
+	// Sim is the default simulator configuration Run uses; RunWith
+	// overrides it per call.
+	Sim SimConfig
 }
 
 // CompileSource parses, checks, builds, and optimizes a cMinor program.
-func CompileSource(src string, o Options) (*Compiled, error) {
+func CompileSource(src string, opts ...Option) (*Compiled, error) {
+	cfg := config{sim: dataflow.DefaultConfig()}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
 	prog, err := cminor.Parse(src)
 	if err != nil {
 		return nil, err
@@ -54,14 +112,14 @@ func CompileSource(src string, o Options) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	passes := opt.LevelOptions(o.Level)
-	if o.Passes != nil {
-		passes = *o.Passes
+	passes := opt.LevelOptions(cfg.level)
+	if cfg.passes != nil {
+		passes = *cfg.passes
 	}
 	if err := opt.Optimize(p, passes); err != nil {
 		return nil, err
 	}
-	return &Compiled{Program: p, Source: prog, Level: o.Level}, nil
+	return &Compiled{Program: p, Source: prog, Level: cfg.level, Sim: cfg.sim}, nil
 }
 
 // SimConfig configures a spatial execution.
@@ -82,9 +140,13 @@ func PerfectMemory() memsys.Config { return memsys.PerfectConfig() }
 func PaperMemory(ports int) memsys.Config { return memsys.PaperConfig(ports) }
 
 // Run executes entry(args...) on the dataflow (spatial) simulator with
-// the default configuration.
+// the program's default configuration (see WithMemory / WithSim).
 func (c *Compiled) Run(entry string, args []int64) (*SimResult, error) {
-	return dataflow.Run(c.Program, entry, args, dataflow.DefaultConfig())
+	cfg := c.Sim
+	if cfg == (SimConfig{}) {
+		cfg = dataflow.DefaultConfig()
+	}
+	return dataflow.Run(c.Program, entry, args, cfg)
 }
 
 // RunWith executes with an explicit simulator configuration.
@@ -92,10 +154,27 @@ func (c *Compiled) RunWith(entry string, args []int64, cfg SimConfig) (*SimResul
 	return dataflow.Run(c.Program, entry, args, cfg)
 }
 
+// Profile counts node firings during a profiled run.
+type Profile = dataflow.Profile
+
+// RunProfiled executes like Run while recording per-operator firing
+// counts.
+func (c *Compiled) RunProfiled(entry string, args []int64) (*SimResult, *Profile, error) {
+	cfg := c.Sim
+	if cfg == (SimConfig{}) {
+		cfg = dataflow.DefaultConfig()
+	}
+	return dataflow.RunProfiled(c.Program, entry, args, cfg)
+}
+
 // RunSequential executes on the in-order AST interpreter (the sequential
-// baseline) and returns its result.
+// baseline) against the program's default memory system.
 func (c *Compiled) RunSequential(entry string, args []int64) (*interp.Result, error) {
-	return interp.New(c.Program, memsys.PerfectConfig()).Run(entry, args)
+	mem := c.Sim.Mem
+	if mem == (memsys.Config{}) {
+		mem = memsys.PerfectConfig()
+	}
+	return interp.New(c.Program, mem).Run(entry, args)
 }
 
 // Graph returns the Pegasus graph of a function.

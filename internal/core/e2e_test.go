@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"spatial/internal/memsys"
+	"spatial/internal/opt"
+)
+
+// The e2e programs mirror the repository examples: quickstart's
+// reduction, memopt's Section 2 kernel (driven through a checksum
+// wrapper), and pipeline's producer/consumer loop.
+var e2ePrograms = []struct {
+	name  string
+	src   string
+	entry string
+	args  []int64
+}{
+	{
+		name: "quickstart",
+		src: `
+int squares[64];
+
+int sumOfSquares(int n) {
+  int i;
+  int s = 0;
+  for (i = 0; i < n; i++) squares[i] = i * i;
+  for (i = 0; i < n; i++) s += squares[i];
+  return s;
+}`,
+		entry: "sumOfSquares",
+		args:  []int64{64},
+	},
+	{
+		name: "memopt",
+		src: `
+unsigned a[16];
+unsigned x;
+
+void f(unsigned *p, unsigned b[], int i) {
+  if (p) b[i] += *p;
+  else b[i] = 1;
+  b[i] <<= b[i+1];
+}
+
+int bench(void) {
+  int i;
+  int s = 0;
+  for (i = 0; i < 16; i++) a[i] = i * i + 1;
+  x = 7;
+  f(&x, a, 2);
+  f(0, a, 5);
+  for (i = 0; i < 16; i++) s += a[i];
+  return s & 0x7fffffff;
+}`,
+		entry: "bench",
+	},
+	{
+		name: "pipeline",
+		src: `
+int src[256];
+int dst[256];
+
+void fill(void) {
+  int i;
+  for (i = 0; i < 256; i++) src[i] = (i * 2654435761u) >> 16;
+}
+
+void transform(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    dst[i] = (src[i] * 3 + 1) >> 1;
+  }
+}
+
+int bench(void) {
+  int i;
+  int s = 0;
+  fill();
+  transform(256);
+  for (i = 0; i < 256; i++) s += dst[i];
+  return s;
+}`,
+		entry: "bench",
+	},
+}
+
+// TestExamplesAllLevels checks the two execution engines agree on every
+// example program at every optimization level, and that each compiled
+// graph still verifies after optimization.
+func TestExamplesAllLevels(t *testing.T) {
+	levels := []opt.Level{opt.None, opt.Basic, opt.Medium, opt.Full}
+	for _, p := range e2ePrograms {
+		t.Run(p.name, func(t *testing.T) {
+			var want int64
+			for i, lv := range levels {
+				cp, err := CompileSource(p.src, WithLevel(lv))
+				if err != nil {
+					t.Fatalf("level %v: %v", lv, err)
+				}
+				if err := cp.Verify(); err != nil {
+					t.Fatalf("level %v: verify: %v", lv, err)
+				}
+				res, err := cp.Run(p.entry, p.args)
+				if err != nil {
+					t.Fatalf("level %v: spatial: %v", lv, err)
+				}
+				seq, err := cp.RunSequential(p.entry, p.args)
+				if err != nil {
+					t.Fatalf("level %v: sequential: %v", lv, err)
+				}
+				if res.Value != seq.Value {
+					t.Errorf("level %v: spatial %d != sequential %d",
+						lv, res.Value, seq.Value)
+				}
+				if i == 0 {
+					want = res.Value
+				} else if res.Value != want {
+					t.Errorf("level %v: value %d differs from unoptimized %d",
+						lv, res.Value, want)
+				}
+			}
+		})
+	}
+}
+
+// TestExamplesFunctionalOptions exercises the new option forms against
+// the deprecated struct shim on the same program.
+func TestExamplesFunctionalOptions(t *testing.T) {
+	p := e2ePrograms[0]
+	newStyle, err := CompileSource(p.src,
+		WithLevel(opt.Full), WithMemory(PaperMemory(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStyle, err := CompileSource(p.src, Options{Level: opt.Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := newStyle.Run(p.entry, p.args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := oldStyle.Run(p.entry, p.args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Errorf("functional options %d != struct shim %d", a.Value, b.Value)
+	}
+	if newStyle.Sim.Mem == (memsys.Config{}) {
+		t.Error("WithMemory not recorded in Compiled.Sim")
+	}
+}

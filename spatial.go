@@ -6,10 +6,14 @@
 // dependences, predicate-driven redundancy elimination, and loop
 // pipelining with token generators.
 //
-// The root package re-exports the high-level API from internal/core:
+// The root package re-exports the high-level API from internal/core, so
+// callers never import internal packages:
 //
-//	cp, err := spatial.Compile(src, spatial.Options{Level: opt.Full})
+//	cp, err := spatial.Compile(src,
+//	    spatial.WithLevel(spatial.OptFull),
+//	    spatial.WithMemory(spatial.PaperMemory(2)))
 //	res, err := cp.Run("bench", nil)
+//	txt, err := cp.Dump("bench")
 //
 // See README.md for the architecture overview and EXPERIMENTS.md for the
 // paper-reproduction results.
@@ -17,14 +21,39 @@ package spatial
 
 import (
 	"spatial/internal/core"
+	"spatial/internal/hw"
+	"spatial/internal/memsys"
 	"spatial/internal/opt"
+	"spatial/internal/workloads"
 )
 
-// Options configures compilation (see core.Options).
+// Option configures Compile (see core.Option).
+type Option = core.Option
+
+// Options is the deprecated struct-style configuration; it implements
+// Option so legacy call sites keep compiling. Prefer WithLevel /
+// WithPasses / WithMemory.
+//
+// Deprecated: use functional options.
 type Options = core.Options
 
 // Compiled is a compiled program (see core.Compiled).
 type Compiled = core.Compiled
+
+// Level selects an optimization preset.
+type Level = opt.Level
+
+// Passes holds per-pass toggles for WithPasses.
+type Passes = opt.Options
+
+// MemConfig describes a memory system for WithMemory.
+type MemConfig = memsys.Config
+
+// SimConfig configures a dataflow simulation (see Compiled.RunWith).
+type SimConfig = core.SimConfig
+
+// SimResult is the outcome of a dataflow simulation.
+type SimResult = core.SimResult
 
 // Optimization levels re-exported for convenience.
 const (
@@ -34,7 +63,57 @@ const (
 	OptFull   = opt.Full
 )
 
+// WithLevel selects an optimization preset.
+func WithLevel(l Level) Option { return core.WithLevel(l) }
+
+// WithPasses overrides the preset with explicit per-pass toggles.
+func WithPasses(p Passes) Option { return core.WithPasses(p) }
+
+// WithMemory selects the default memory system the program runs against.
+func WithMemory(m MemConfig) Option { return core.WithMemory(m) }
+
+// WithSim sets the full default simulator configuration.
+func WithSim(s SimConfig) Option { return core.WithSim(s) }
+
+// LevelPasses returns the pass toggles a preset enables, as a starting
+// point for WithPasses overrides.
+func LevelPasses(l Level) Passes { return opt.LevelOptions(l) }
+
+// PerfectMemory returns the idealized memory configuration.
+func PerfectMemory() MemConfig { return core.PerfectMemory() }
+
+// PaperMemory returns the realistic memory system of the paper's
+// Section 7.3 with the given port count.
+func PaperMemory(ports int) MemConfig { return core.PaperMemory(ports) }
+
+// DefaultSim returns the default simulation configuration.
+func DefaultSim() SimConfig { return core.DefaultSim() }
+
 // Compile parses, checks, builds, and optimizes a cMinor program.
-func Compile(src string, o Options) (*Compiled, error) {
-	return core.CompileSource(src, o)
+func Compile(src string, opts ...Option) (*Compiled, error) {
+	return core.CompileSource(src, opts...)
 }
+
+// HWReport is one function's hardware cost estimate (operator counts,
+// gate-equivalent area, wiring).
+type HWReport = hw.Report
+
+// EstimateHardware reports the hardware cost of every function in a
+// compiled program, per the paper's Section 7.4 methodology.
+func EstimateHardware(c *Compiled) []*HWReport { return hw.EstimateProgram(c.Program) }
+
+// FormatHardware renders hardware estimates as text.
+func FormatHardware(rs []*HWReport) string { return hw.Format(rs) }
+
+// Profile counts node firings during a profiled run.
+type Profile = core.Profile
+
+// Workload is one of the paper's benchmark kernels; its Source compiles
+// with Compile and its Entry function takes no arguments.
+type Workload = workloads.Workload
+
+// Workloads returns the paper's benchmark suite (Table 2).
+func Workloads() []*Workload { return workloads.All() }
+
+// WorkloadByName returns the named benchmark, or nil.
+func WorkloadByName(name string) *Workload { return workloads.ByName(name) }

@@ -42,6 +42,53 @@ int sumOfSquares(int n) {
 	}
 }
 
+// TestFunctionalOptions exercises the redesigned option API and the
+// wider re-exported surface: hardware estimates, profiled runs, graph
+// dumps, and the workload registry.
+func TestFunctionalOptions(t *testing.T) {
+	w := spatial.WorkloadByName("mesa")
+	if w == nil {
+		t.Fatal("workload mesa missing")
+	}
+	cp, err := spatial.Compile(w.Source,
+		spatial.WithLevel(spatial.OptFull),
+		spatial.WithMemory(spatial.PaperMemory(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res, prof, err := cp.RunProfiled(w.Entry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil || res.Stats.Cycles == 0 {
+		t.Errorf("profiled run: cycles=%d prof=%v", res.Stats.Cycles, prof)
+	}
+	seq, err := cp.RunSequential(w.Entry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != seq.Value {
+		t.Errorf("spatial %d != sequential %d under PaperMemory(2)", res.Value, seq.Value)
+	}
+	var area int64
+	for _, r := range spatial.EstimateHardware(cp) {
+		area += r.Area
+	}
+	if area <= 0 {
+		t.Errorf("hardware area = %d", area)
+	}
+	if len(spatial.Workloads()) == 0 {
+		t.Error("empty workload registry")
+	}
+	passes := spatial.LevelPasses(spatial.OptFull)
+	if !passes.LoadAfterStore {
+		t.Error("LevelPasses(OptFull) misses LoadAfterStore")
+	}
+}
+
 func TestPublicAPILevels(t *testing.T) {
 	src := `int g; int f(int x) { g = x; g = g + 1; return g; }`
 	for name, lv := range map[string]spatial.Options{
