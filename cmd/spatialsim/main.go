@@ -6,7 +6,12 @@
 // Usage:
 //
 //	spatialsim [-O level] [-entry name] [-mem perfect|real1|real2|real4]
-//	           [-seq] [-edgecap n] file.c [args...]
+//	           [-seq] [-edgecap n] [-profile] [-topk n] [-trace out.json]
+//	           file.c [args...]
+//
+// -trace records the full event stream, writes a Chrome trace-event file
+// (loadable in about://tracing or Perfetto), and prints the trace summary
+// and dynamic critical path.
 package main
 
 import (
@@ -28,6 +33,8 @@ func main() {
 	seq := flag.Bool("seq", false, "also run the sequential baseline")
 	edgeCap := flag.Int("edgecap", 1, "dataflow edge buffer depth")
 	profile := flag.Bool("profile", false, "print per-operator firing profile")
+	topK := flag.Int("topk", 10, "entries in profile and critical-path reports")
+	traceOut := flag.String("trace", "", "trace the run and write Chrome trace JSON to this file")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: spatialsim [flags] file.c [args...]")
@@ -62,14 +69,38 @@ func main() {
 	cfg.Mem = mcfg
 	cfg.EdgeCap = *edgeCap
 	var res *core.SimResult
-	if *profile {
+	switch {
+	case *traceOut != "":
+		var tr *core.Trace
+		res, tr, err = cp.RunTracedWith(*entry, args, cfg, core.DefaultTrace())
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			fmt.Print(tr.Summary())
+			if crit := tr.CriticalPath(); crit != nil {
+				fmt.Print(crit.Format(*topK))
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
+		}()
+	case *profile:
 		var prof *dataflow.Profile
 		res, prof, err = dataflow.RunProfiled(cp.Program, *entry, args, cfg)
 		if err != nil {
 			fatal(err)
 		}
-		defer fmt.Print(prof.Format(10))
-	} else {
+		defer fmt.Print(prof.Format(*topK))
+	default:
 		res, err = cp.RunWith(*entry, args, cfg)
 		if err != nil {
 			fatal(err)

@@ -26,6 +26,7 @@ import (
 	"spatial/internal/memsys"
 	"spatial/internal/opt"
 	"spatial/internal/pegasus"
+	"spatial/internal/trace"
 )
 
 // Option configures CompileSource.
@@ -37,6 +38,7 @@ type config struct {
 	level  opt.Level
 	passes *opt.Options
 	sim    dataflow.Config
+	trc    trace.Config
 }
 
 type optionFunc func(*config)
@@ -65,6 +67,12 @@ func WithSim(s SimConfig) Option {
 	return optionFunc(func(c *config) { c.sim = s })
 }
 
+// WithTrace sets the trace-collection configuration RunTraced uses
+// (event caps); the zero TraceConfig selects generous defaults.
+func WithTrace(tc TraceConfig) Option {
+	return optionFunc(func(c *config) { c.trc = tc })
+}
+
 // Options configures compilation.
 //
 // Deprecated: Options is the legacy struct-style configuration, kept so
@@ -91,8 +99,11 @@ type Compiled struct {
 	Source  *cminor.Program
 	Level   opt.Level
 	// Sim is the default simulator configuration Run uses; RunWith
-	// overrides it per call.
+	// overrides it per call. CompileSource normalizes it, so this is
+	// exactly the configuration a Run executes under.
 	Sim SimConfig
+	// Trace is the trace-collection configuration RunTraced uses.
+	Trace TraceConfig
 }
 
 // CompileSource parses, checks, builds, and optimizes a cMinor program.
@@ -119,7 +130,9 @@ func CompileSource(src string, opts ...Option) (*Compiled, error) {
 	if err := opt.Optimize(p, passes); err != nil {
 		return nil, err
 	}
-	return &Compiled{Program: p, Source: prog, Level: cfg.level, Sim: cfg.sim}, nil
+	// Normalize once here: the Config this Compiled reports is the Config
+	// its runs actually execute under, zero fields already defaulted.
+	return &Compiled{Program: p, Source: prog, Level: cfg.level, Sim: cfg.sim.Normalized(), Trace: cfg.trc}, nil
 }
 
 // SimConfig configures a spatial execution.
@@ -165,6 +178,36 @@ func (c *Compiled) RunProfiled(entry string, args []int64) (*SimResult, *Profile
 		cfg = dataflow.DefaultConfig()
 	}
 	return dataflow.RunProfiled(c.Program, entry, args, cfg)
+}
+
+// TraceConfig parameterizes trace collection (see WithTrace).
+type TraceConfig = trace.Config
+
+// Trace is the recorded event stream of a traced run.
+type Trace = trace.Trace
+
+// CritPath is the dynamic critical path extracted from a Trace.
+type CritPath = trace.CritPath
+
+// DefaultTrace returns the standard trace-collection configuration.
+func DefaultTrace() TraceConfig { return trace.DefaultConfig() }
+
+// RunTraced executes like Run while recording the full event stream:
+// node firings with start/end cycles, stall attribution, and memory
+// events. The Trace supports critical-path extraction
+// (Trace.CriticalPath) and Chrome trace-event export (Trace.WriteChrome).
+func (c *Compiled) RunTraced(entry string, args []int64) (*SimResult, *Trace, error) {
+	cfg := c.Sim
+	if cfg == (SimConfig{}) {
+		cfg = dataflow.DefaultConfig()
+	}
+	return dataflow.RunTraced(c.Program, entry, args, cfg, c.Trace)
+}
+
+// RunTracedWith is RunTraced with explicit simulator and trace
+// configurations.
+func (c *Compiled) RunTracedWith(entry string, args []int64, cfg SimConfig, tc TraceConfig) (*SimResult, *Trace, error) {
+	return dataflow.RunTraced(c.Program, entry, args, cfg, tc)
 }
 
 // RunSequential executes on the in-order AST interpreter (the sequential

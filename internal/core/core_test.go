@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"spatial/internal/memsys"
 	"spatial/internal/opt"
 )
 
@@ -109,5 +110,52 @@ func TestVerifyPost(t *testing.T) {
 	}
 	if err := cp.Verify(); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunTraced(t *testing.T) {
+	cp, err := CompileSource(demo,
+		WithLevel(opt.Full), WithMemory(PaperMemory(2)), WithTrace(TraceConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, tr, err := cp.RunTraced("process", []int64{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 992 {
+		t.Errorf("traced process(32) = %d, want 992", res.Value)
+	}
+	cp2 := tr.CriticalPath()
+	if cp2 == nil {
+		t.Fatal("no critical path")
+	}
+	if cp2.Length <= 0 || cp2.Length > res.Stats.Cycles {
+		t.Errorf("path length %d outside (0, %d]", cp2.Length, res.Stats.Cycles)
+	}
+	if len(tr.Mem) == 0 {
+		t.Error("no memory events recorded under realistic memory")
+	}
+}
+
+func TestCompiledSimIsNormalized(t *testing.T) {
+	// A partial WithSim must be normalized at compile time so the
+	// recorded Config matches what runs (previously the raw zero-filled
+	// struct was stored while Run silently applied defaults).
+	cp, err := CompileSource(demo, WithSim(SimConfig{EdgeCap: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Sim.EdgeCap != 2 {
+		t.Errorf("EdgeCap = %d, want 2", cp.Sim.EdgeCap)
+	}
+	if cp.Sim.MaxCycles <= 0 || cp.Sim.MaxActivations <= 0 {
+		t.Errorf("limits not defaulted: %+v", cp.Sim)
+	}
+	if cp.Sim.Mem == (memsys.Config{}) {
+		t.Error("memory config not defaulted")
+	}
+	if cp.Sim != cp.Sim.Normalized() {
+		t.Errorf("recorded config is not a fixed point of normalization: %+v", cp.Sim)
 	}
 }

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"spatial/internal/cminor"
-	"spatial/internal/memsys"
 	"spatial/internal/pegasus"
+	"spatial/internal/trace"
 )
 
 // Operation latencies in cycles, mirroring a SimpleScalar pisa pipeline
@@ -48,13 +48,67 @@ func (m *machine) fireOnce(a *activation, n *pegasus.Node) bool {
 		if st.firedOnce {
 			return false
 		}
-		fired := m.dispatch(a, n)
+		fired := m.dispatchTraced(a, n)
 		if fired {
 			st.firedOnce = true
 		}
 		return fired
 	}
-	return m.dispatch(a, n)
+	return m.dispatchTraced(a, n)
+}
+
+// dispatchTraced brackets a dispatch with the tracer's firing lifecycle:
+// a candidate record opens before the attempt and commits only if the
+// node actually fired. Consume/Emit hooks inside the attempt fill in the
+// last-arriving input and output times.
+func (m *machine) dispatchTraced(a *activation, n *pegasus.Node) bool {
+	if m.tracer == nil {
+		return m.dispatch(a, n)
+	}
+	m.tracer.BeginFiring(int32(a.id), a.gi.g.Name, n)
+	fired := m.dispatch(a, n)
+	m.tracer.EndFiring(m.now, fired)
+	return fired
+}
+
+// stallInputs records a blocked fire attempt caused by a missing input,
+// classified as token wait when the first missing input is a token port
+// and data wait otherwise. It always returns false so failure sites can
+// `return m.stallInputs(a, n)`.
+func (m *machine) stallInputs(a *activation, n *pegasus.Node) bool {
+	if m.tracer == nil {
+		return false
+	}
+	cause := trace.StallData
+	found := false
+	n.EachInput(func(r *pegasus.Ref, cls pegasus.Port, idx int) {
+		if found || !r.Valid() || m.inputReady(a, n, cls, idx, *r) {
+			return
+		}
+		found = true
+		if cls == pegasus.PortTok {
+			cause = trace.StallToken
+		}
+	})
+	m.tracer.Stall(n, cause)
+	return false
+}
+
+// stallBack records a blocked fire attempt caused by a full output edge.
+func (m *machine) stallBack(n *pegasus.Node) bool {
+	if m.tracer != nil {
+		m.tracer.Stall(n, trace.StallBackpressure)
+	}
+	return false
+}
+
+// stallTok records a blocked fire attempt waiting on a token (tokgen
+// credit wait).
+func (m *machine) stallTok(n *pegasus.Node) bool {
+	if m.tracer != nil {
+		m.tracer.Stall(n, trace.StallToken)
+	}
+	return false
 }
 
 func (m *machine) dispatch(a *activation, n *pegasus.Node) bool {
@@ -110,14 +164,14 @@ func (m *machine) consumeAll(a *activation, n *pegasus.Node) (ins, preds, toks [
 // combine).
 func (m *machine) fireSimple(a *activation, n *pegasus.Node) bool {
 	if !m.allInputsReady(a, n) {
-		return false
+		return m.stallInputs(a, n)
 	}
 	outKind := pegasus.OutValue
 	if !n.HasValue() && n.HasToken() {
 		outKind = pegasus.OutToken
 	}
 	if !m.capacityFree(a, n, outKind) {
-		return false
+		return m.stallBack(n)
 	}
 	ins, preds, _ := m.consumeAll(a, n)
 	m.stats.OpsFired++
@@ -199,7 +253,7 @@ func (m *machine) fireMerge(a *activation, n *pegasus.Node) bool {
 		cls = pegasus.PortTok
 	}
 	if !m.capacityFree(a, n, outKind) {
-		return false
+		return m.stallBack(n)
 	}
 	for i, r := range srcs {
 		if a.gi.static[r.N.ID] {
@@ -228,7 +282,7 @@ func (m *machine) fireEta(a *activation, n *pegasus.Node) bool {
 		outKind = pegasus.OutToken
 	}
 	if !m.inputReady(a, n, pegasus.PortPred, 0, n.Preds[0]) {
-		return false
+		return m.stallInputs(a, n)
 	}
 	var dataRef pegasus.Ref
 	if n.TokenOnly {
@@ -237,7 +291,7 @@ func (m *machine) fireEta(a *activation, n *pegasus.Node) bool {
 		dataRef = n.Ins[0]
 	}
 	if !m.inputReady(a, n, cls, 0, dataRef) {
-		return false
+		return m.stallInputs(a, n)
 	}
 	// Peek the predicate: only a true predicate needs output capacity.
 	var predVal int64
@@ -247,7 +301,7 @@ func (m *machine) fireEta(a *activation, n *pegasus.Node) bool {
 		predVal = m.peek(a, n, port{pegasus.PortPred, 0})
 	}
 	if predVal != 0 && !m.capacityFree(a, n, outKind) {
-		return false
+		return m.stallBack(n)
 	}
 	m.inputValue(a, n, pegasus.PortPred, 0, n.Preds[0]) // consume pred
 	v := m.inputValue(a, n, cls, 0, dataRef)            // consume data
@@ -273,7 +327,7 @@ func (m *machine) fireTokenGen(a *activation, n *pegasus.Node) bool {
 		return true
 	}
 	if !m.inputReady(a, n, pegasus.PortPred, 0, n.Preds[0]) {
-		return false
+		return m.stallInputs(a, n)
 	}
 	var predVal int64
 	if a.gi.static[n.Preds[0].N.ID] {
@@ -283,10 +337,10 @@ func (m *machine) fireTokenGen(a *activation, n *pegasus.Node) bool {
 	}
 	if predVal != 0 {
 		if st.counter <= 0 {
-			return false // wait for credit from the trailing loop
+			return m.stallTok(n) // wait for credit from the trailing loop
 		}
 		if !m.capacityFree(a, n, pegasus.OutToken) {
-			return false
+			return m.stallBack(n)
 		}
 		m.inputValue(a, n, pegasus.PortPred, 0, n.Preds[0])
 		st.counter--
@@ -307,14 +361,14 @@ func (m *machine) fireTokenGen(a *activation, n *pegasus.Node) bool {
 // access and forwards the token immediately (paper Section 3.1).
 func (m *machine) fireMemOp(a *activation, n *pegasus.Node) bool {
 	if !m.allInputsReady(a, n) {
-		return false
+		return m.stallInputs(a, n)
 	}
 	needVal := n.Kind == pegasus.KLoad && len(a.gi.valConsumers[n.ID]) > 0
 	if needVal && !m.capacityFree(a, n, pegasus.OutValue) {
-		return false
+		return m.stallBack(n)
 	}
 	if !m.capacityFree(a, n, pegasus.OutToken) {
-		return false
+		return m.stallBack(n)
 	}
 	ins, preds, _ := m.consumeAll(a, n)
 	m.stats.OpsFired++
@@ -341,19 +395,25 @@ func (m *machine) fireMemOp(a *activation, n *pegasus.Node) bool {
 		m.writeMem(addr, n.Bytes, ins[1])
 		m.emit(a, n, pegasus.OutToken, 1, m.now+1)
 	}
+	if m.tracer != nil {
+		// The token is released at issue, one cycle after firing — before
+		// the response returns; this early release is what lets dependent
+		// memory operations overlap (paper Section 6).
+		m.tracer.TokenRelease()
+	}
 	return true
 }
 
 // fireCall instantiates the callee; a false predicate squashes it.
 func (m *machine) fireCall(a *activation, n *pegasus.Node) bool {
 	if !m.allInputsReady(a, n) {
-		return false
+		return m.stallInputs(a, n)
 	}
 	if n.HasValue() && !m.capacityFree(a, n, pegasus.OutValue) {
-		return false
+		return m.stallBack(n)
 	}
 	if !m.capacityFree(a, n, pegasus.OutToken) {
-		return false
+		return m.stallBack(n)
 	}
 	ins, preds, _ := m.consumeAll(a, n)
 	m.stats.OpsFired++
@@ -380,7 +440,7 @@ func (m *machine) fireCall(a *activation, n *pegasus.Node) bool {
 // fireReturn completes an activation.
 func (m *machine) fireReturn(a *activation, n *pegasus.Node) bool {
 	if !m.allInputsReady(a, n) {
-		return false
+		return m.stallInputs(a, n)
 	}
 	ins, _, _ := m.consumeAll(a, n)
 	m.stats.OpsFired++
@@ -394,6 +454,9 @@ func (m *machine) fireReturn(a *activation, n *pegasus.Node) bool {
 	if a.retTo == nil {
 		m.mainVal = val
 		m.mainDone = true
+		if m.tracer != nil {
+			m.tracer.MarkFinal()
+		}
 		return true
 	}
 	call := a.retTo
@@ -437,45 +500,10 @@ func (m *machine) writeMem(addr uint32, bytes int, v int64) {
 	}
 }
 
-// ReadGlobal reads a global object's memory after a simulation — used by
-// tests and the harness to check program outputs. It requires the machine
-// to be exposed; see RunInspect.
+// Inspector reads a simulation's memory post-mortem — used by tests and
+// the harness to check program outputs. See RunInspect.
 type Inspector struct {
 	m *machine
-}
-
-// RunInspect is Run but also returns an Inspector for post-mortem memory
-// reads.
-func RunInspect(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, *Inspector, error) {
-	cfg = cfg.withDefaults()
-	g := p.Graph(entry)
-	if g == nil {
-		return nil, nil, fmt.Errorf("dataflow: no function %q", entry)
-	}
-	if len(args) != len(g.Fn.Params) {
-		return nil, nil, fmt.Errorf("dataflow: %s expects %d arguments, got %d", entry, len(g.Fn.Params), len(args))
-	}
-	m := &machine{
-		prog:       p,
-		cfg:        cfg,
-		mem:        make([]byte, p.Layout.MemSize),
-		msys:       memsys.New(cfg.Mem),
-		infos:      map[string]*graphInfo{},
-		sp:         p.Layout.StackBase,
-		freeFrames: map[uint32][]uint32{},
-		producers:  map[prodKey][]prodRef{},
-	}
-	for _, c := range p.Layout.Init {
-		m.writeMem(c.Addr, c.Size, c.Value)
-	}
-	act := m.newActivation(g, args, nil, nil)
-	m.mainAct = act
-	if err := m.run(); err != nil {
-		return nil, nil, err
-	}
-	m.stats.Cycles = m.now
-	m.stats.Mem = m.msys.Stats()
-	return &Result{Value: m.mainVal, Stats: m.stats}, &Inspector{m: m}, nil
 }
 
 // ReadWord reads a 4-byte word at an absolute simulated address.

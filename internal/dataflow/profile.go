@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"spatial/internal/memsys"
 	"spatial/internal/pegasus"
 )
 
@@ -84,38 +83,4 @@ func (p *Profile) Format(topK int) string {
 			h.Node.String(), h.Count, 100*h.Utilization)
 	}
 	return sb.String()
-}
-
-// RunProfiled is Run with per-node firing profiling enabled.
-func RunProfiled(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, *Profile, error) {
-	cfg = cfg.withDefaults()
-	g := p.Graph(entry)
-	if g == nil {
-		return nil, nil, fmt.Errorf("dataflow: no function %q", entry)
-	}
-	if len(args) != len(g.Fn.Params) {
-		return nil, nil, fmt.Errorf("dataflow: %s expects %d arguments, got %d", entry, len(g.Fn.Params), len(args))
-	}
-	m := &machine{
-		prog:       p,
-		cfg:        cfg,
-		mem:        make([]byte, p.Layout.MemSize),
-		msys:       memsys.New(cfg.Mem),
-		infos:      map[string]*graphInfo{},
-		sp:         p.Layout.StackBase,
-		freeFrames: map[uint32][]uint32{},
-		producers:  map[prodKey][]prodRef{},
-		profile:    newProfile(),
-	}
-	for _, c := range p.Layout.Init {
-		m.writeMem(c.Addr, c.Size, c.Value)
-	}
-	m.mainAct = m.newActivation(g, args, nil, nil)
-	if err := m.run(); err != nil {
-		return nil, nil, err
-	}
-	m.stats.Cycles = m.now
-	m.stats.Mem = m.msys.Stats()
-	m.profile.cycles = m.now
-	return &Result{Value: m.mainVal, Stats: m.stats}, m.profile, nil
 }

@@ -1,0 +1,92 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"spatial/internal/memsys"
+	"spatial/internal/pegasus"
+	"spatial/internal/trace"
+)
+
+// runMachine is the single internal runner behind Run, RunInspect,
+// RunProfiled, and RunTraced: it validates the entry point, assembles a
+// machine with the requested observers (either may be nil), executes it,
+// and seals the statistics. Observers are strictly additive — a nil
+// profile and tracer reproduce the plain Run fast path.
+func runMachine(p *pegasus.Program, entry string, args []int64, cfg Config, prof *Profile, tr *trace.Tracer) (*Result, *machine, error) {
+	cfg = cfg.withDefaults()
+	g := p.Graph(entry)
+	if g == nil {
+		return nil, nil, fmt.Errorf("dataflow: no function %q", entry)
+	}
+	if len(args) != len(g.Fn.Params) {
+		return nil, nil, fmt.Errorf("dataflow: %s expects %d arguments, got %d", entry, len(g.Fn.Params), len(args))
+	}
+	m := &machine{
+		prog:       p,
+		cfg:        cfg,
+		mem:        make([]byte, p.Layout.MemSize),
+		msys:       memsys.New(cfg.Mem),
+		infos:      map[string]*graphInfo{},
+		sp:         p.Layout.StackBase,
+		freeFrames: map[uint32][]uint32{},
+		producers:  map[prodKey][]prodRef{},
+		profile:    prof,
+		tracer:     tr,
+	}
+	if tr != nil {
+		m.msys.SetObserver(tr)
+	}
+	for _, c := range p.Layout.Init {
+		m.writeMem(c.Addr, c.Size, c.Value)
+	}
+	m.mainAct = m.newActivation(g, args, nil, nil)
+	if err := m.run(); err != nil {
+		return nil, nil, err
+	}
+	m.stats.Cycles = m.now
+	m.stats.Mem = m.msys.Stats()
+	if prof != nil {
+		prof.cycles = m.now
+	}
+	return &Result{Value: m.mainVal, Stats: m.stats}, m, nil
+}
+
+// Run executes entry(args...) on program p and returns the result value
+// and statistics.
+func Run(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, error) {
+	res, _, err := runMachine(p, entry, args, cfg, nil, nil)
+	return res, err
+}
+
+// RunInspect is Run but also returns an Inspector for post-mortem memory
+// reads.
+func RunInspect(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, *Inspector, error) {
+	res, m, err := runMachine(p, entry, args, cfg, nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &Inspector{m: m}, nil
+}
+
+// RunProfiled is Run with per-node firing profiling enabled.
+func RunProfiled(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, *Profile, error) {
+	prof := newProfile()
+	res, _, err := runMachine(p, entry, args, cfg, prof, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, prof, nil
+}
+
+// RunTraced is Run with full event tracing: every firing, stall, and
+// memory request is recorded into a trace.Trace for critical-path and
+// timeline analysis.
+func RunTraced(p *pegasus.Program, entry string, args []int64, cfg Config, tcfg trace.Config) (*Result, *trace.Trace, error) {
+	tr := trace.New(tcfg)
+	res, m, err := runMachine(p, entry, args, cfg, nil, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr.Finish(m.now), nil
+}

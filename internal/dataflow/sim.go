@@ -15,6 +15,7 @@ import (
 	"spatial/internal/cminor"
 	"spatial/internal/memsys"
 	"spatial/internal/pegasus"
+	"spatial/internal/trace"
 )
 
 // Config parameterizes a simulation.
@@ -35,6 +36,9 @@ func DefaultConfig() Config {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Mem == (memsys.Config{}) {
+		c.Mem = memsys.PerfectConfig()
+	}
 	if c.EdgeCap <= 0 {
 		c.EdgeCap = 1
 	}
@@ -46,6 +50,12 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// Normalized returns the configuration with every zero field replaced by
+// its default — exactly what a run with this Config executes under. The
+// facade normalizes once at compile time so the Config it reports
+// matches what actually ran.
+func (c Config) Normalized() Config { return c.withDefaults() }
 
 // Stats aggregates execution statistics.
 type Stats struct {
@@ -223,6 +233,9 @@ type event struct {
 	prodNode *pegasus.Node
 	prodOut  pegasus.Out
 	prodEdge int
+	// prodFire is the trace firing Seq of the producing firing (0 when
+	// tracing is disabled or the value was seeded outside a firing).
+	prodFire int64
 }
 
 type eventQueue []*event
@@ -269,6 +282,11 @@ type machine struct {
 	// profile, when non-nil, records per-node firing counts.
 	profile *Profile
 
+	// tracer, when non-nil, records the full event stream (firings,
+	// stalls, memory requests). Every hook below is guarded by a nil
+	// check and allocates nothing when disabled.
+	tracer *trace.Tracer
+
 	// latchProducer remembers, for each latched entry, which producer
 	// edge to release on consumption: keyed by (act,node,port) parallel
 	// to the latch FIFO.
@@ -286,13 +304,10 @@ type prodRef struct {
 	node *pegasus.Node
 	out  pegasus.Out
 	edge int
-}
-
-// Run executes entry(args...) on program p and returns the result value
-// and statistics.
-func Run(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, error) {
-	res, _, err := RunInspect(p, entry, args, cfg)
-	return res, err
+	// fireSeq and at record, for tracing, which firing produced this
+	// latched value and when it arrived.
+	fireSeq int64
+	at      int64
 }
 
 func (m *machine) info(g *pegasus.Graph) *graphInfo {
@@ -379,6 +394,11 @@ func (m *machine) emit(a *activation, n *pegasus.Node, out pegasus.Out, val int6
 		st.lastDeliverVal = t
 		cons = a.gi.valConsumers[n.ID]
 	}
+	var fireSeq int64
+	if m.tracer != nil {
+		fireSeq = m.tracer.CurSeq()
+		m.tracer.Emit(t)
+	}
 	for i, c := range cons {
 		if out == pegasus.OutToken {
 			st.occTok[i]++
@@ -387,7 +407,7 @@ func (m *machine) emit(a *activation, n *pegasus.Node, out pegasus.Out, val int6
 		}
 		m.push(&event{
 			time: t, kind: evDeliver, act: a, node: c.node, p: c.p, val: val,
-			prodAct: a, prodNode: n, prodOut: out, prodEdge: i,
+			prodAct: a, prodNode: n, prodOut: out, prodEdge: i, prodFire: fireSeq,
 		})
 	}
 }
@@ -427,7 +447,8 @@ func (m *machine) run() error {
 			st := m.state(e.act, e.node)
 			st.latches[e.p] = append(st.latches[e.p], e.val)
 			key := prodKey{e.act, e.node, e.p}
-			m.producers[key] = append(m.producers[key], prodRef{e.prodAct, e.prodNode, e.prodOut, e.prodEdge})
+			m.producers[key] = append(m.producers[key],
+				prodRef{e.prodAct, e.prodNode, e.prodOut, e.prodEdge, e.prodFire, e.time})
 			m.tryFire(e.act, e.node)
 		case evCheck:
 			m.tryFire(e.act, e.node)
@@ -458,6 +479,9 @@ func (m *machine) consume(a *activation, n *pegasus.Node, p port) int64 {
 		pst.occTok[pr.edge]--
 	} else {
 		pst.occVal[pr.edge]--
+	}
+	if m.tracer != nil {
+		m.tracer.Consume(pr.fireSeq, pr.at, pr.out == pegasus.OutToken)
 	}
 	// The producer may have been stalled on this edge.
 	m.push(&event{time: m.now, kind: evCheck, act: pr.act, node: pr.node})

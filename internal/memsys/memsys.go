@@ -120,6 +120,51 @@ func (c Config) String() string {
 	return fmt.Sprintf("realistic(%d-port)", c.Ports)
 }
 
+// Level says where in the hierarchy a request was satisfied.
+type Level uint8
+
+// Hit levels.
+const (
+	LvlPerfect Level = iota // Kind == Perfect: fixed-latency memory
+	LvlL1
+	LvlL2
+	LvlMem // DRAM access (L2 miss)
+)
+
+var levelNames = [...]string{LvlPerfect: "perfect", LvlL1: "L1", LvlL2: "L2", LvlMem: "mem"}
+
+// String names the level.
+func (l Level) String() string { return levelNames[l] }
+
+// Event describes one memory request for tracing: when it arrived at the
+// LSQ, when a port issued it, when its response came back, where it hit,
+// and how long it stalled for a port or queue slot.
+type Event struct {
+	Start int64 // cycle the request reached the LSQ
+	Issue int64 // cycle a port accepted it
+	Done  int64 // cycle the response is available
+	Load  bool
+	Addr  uint32
+	Bytes int
+	Port  int   // which port issued the request
+	Queue int   // LSQ occupancy observed at submit (before insertion)
+	Level Level // hierarchy level that satisfied the request
+	TLB   bool  // request took a TLB miss
+}
+
+// PortWait is the cycles the request spent waiting for a free port or
+// queue slot (memory-port contention).
+func (e Event) PortWait() int64 { return e.Issue - e.Start }
+
+// Latency is the issue-to-response time.
+func (e Event) Latency() int64 { return e.Done - e.Issue }
+
+// Observer receives one Event per memory request. Implementations must
+// not call back into the System.
+type Observer interface {
+	MemEvent(Event)
+}
+
 // Stats accumulates memory-system statistics.
 type Stats struct {
 	Loads     int64
@@ -149,7 +194,13 @@ type System struct {
 	tlb    *tlbModel
 	// nextDRAMFree models the word-serial DRAM channel.
 	nextDRAMFree int64
+
+	// obs, when non-nil, receives one Event per request.
+	obs Observer
 }
+
+// SetObserver installs (or clears, with nil) the event observer.
+func (s *System) SetObserver(o Observer) { s.obs = o }
 
 // New creates a memory system.
 func New(cfg Config) *System {
@@ -178,6 +229,7 @@ func (s *System) Submit(t int64, isLoad bool, addr uint32, bytes int) int64 {
 		s.stats.Stores++
 	}
 	start := t
+	queueAtSubmit := len(s.outstanding)
 	// Wait for a free LSQ slot.
 	for len(s.outstanding) >= s.cfg.QueueSize {
 		earliest := s.outstanding[0]
@@ -196,16 +248,28 @@ func (s *System) Submit(t int64, isLoad bool, addr uint32, bytes int) int64 {
 	for s.issueTimes[t] >= s.cfg.Ports {
 		t++
 	}
+	port := s.issueTimes[t]
 	s.issueTimes[t]++
 	s.stats.StallCycles += t - start
 	var done int64
+	level := LvlPerfect
+	tlbMiss := false
 	if s.cfg.Kind == Perfect {
 		done = t + s.cfg.PerfectLatency
 	} else {
-		done = t + s.accessLatency(t, addr, bytes)
+		var lat int64
+		lat, level, tlbMiss = s.accessLatency(t, addr, bytes)
+		done = t + lat
 	}
 	s.outstanding = append(s.outstanding, done)
 	s.gcIssueTimes(t)
+	if s.obs != nil {
+		s.obs.MemEvent(Event{
+			Start: start, Issue: t, Done: done,
+			Load: isLoad, Addr: addr, Bytes: bytes,
+			Port: port, Queue: queueAtSubmit, Level: level, TLB: tlbMiss,
+		})
+	}
 	return done
 }
 
@@ -222,21 +286,23 @@ func (s *System) gcIssueTimes(now int64) {
 	}
 }
 
-func (s *System) accessLatency(t int64, addr uint32, bytes int) int64 {
+func (s *System) accessLatency(t int64, addr uint32, bytes int) (int64, Level, bool) {
 	lat := int64(0)
+	tlbMiss := false
 	if !s.tlb.lookup(addr) {
 		s.stats.TLBMisses++
 		lat += s.cfg.TLBMissCost
+		tlbMiss = true
 	}
 	if s.l1.lookup(addr) {
 		s.stats.L1Hits++
-		return lat + s.cfg.L1Latency
+		return lat + s.cfg.L1Latency, LvlL1, tlbMiss
 	}
 	s.stats.L1Misses++
 	s.l1.fill(addr)
 	if s.l2.lookup(addr) {
 		s.stats.L2Hits++
-		return lat + s.cfg.L1Latency + s.cfg.L2Latency
+		return lat + s.cfg.L1Latency + s.cfg.L2Latency, LvlL2, tlbMiss
 	}
 	s.stats.L2Misses++
 	s.l2.fill(addr)
@@ -249,7 +315,7 @@ func (s *System) accessLatency(t int64, addr uint32, bytes int) int64 {
 	}
 	transfer := s.cfg.MemLatency + s.cfg.WordGap*(words-1)
 	s.nextDRAMFree = busyUntil + s.cfg.WordGap*words
-	return lat + s.cfg.L1Latency + s.cfg.L2Latency + (busyUntil - t) + transfer
+	return lat + s.cfg.L1Latency + s.cfg.L2Latency + (busyUntil - t) + transfer, LvlMem, tlbMiss
 }
 
 // --- cache model ---

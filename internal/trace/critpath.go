@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spatial/internal/pegasus"
+)
+
+// Step is one firing on the dynamic critical path together with the
+// cycles attributed to it: the time from its critical parent's completion
+// to its own completion (operation latency plus any stall in between).
+type Step struct {
+	Firing Firing
+	Cycles int64
+}
+
+// Edge identifies one dynamic producer→consumer edge on the critical
+// path within a graph.
+type Edge struct {
+	Graph    string
+	From, To *pegasus.Node
+}
+
+// EdgeCycles is the attribution of one edge class on the critical path.
+type EdgeCycles struct {
+	Edge Edge
+	// Cycles is the total path time attributed to crossings of this
+	// edge; Hops is how many times the path crossed it.
+	Cycles int64
+	Hops   int
+}
+
+// CritPath is the dynamic critical path of a traced run: the chain of
+// last-arriving-input back-edges walked from the final (main-return)
+// firing to the program start.
+type CritPath struct {
+	// Length is the total path length in cycles (the final firing's
+	// completion time); the per-step attributions sum to it exactly.
+	Length int64
+	// Steps lists the path from program start to the final firing.
+	Steps []Step
+	// ByKind attributes path cycles to node kinds.
+	ByKind map[string]int64
+	// TokenEdges attributes path cycles to token (memory-dependence)
+	// edges, hottest first. These are the edges the paper's memory
+	// optimizations shorten.
+	TokenEdges []EdgeCycles
+	// TokenCycles is the total path time spent crossing token edges.
+	TokenCycles int64
+}
+
+// CriticalPath extracts the dynamic critical path. It returns nil when
+// the trace has no final firing (incomplete run or truncated record).
+func (tr *Trace) CriticalPath() *CritPath {
+	if tr.Final <= 0 || int(tr.Final) > len(tr.Firings) {
+		return nil
+	}
+	// Seqs are 1-based and dense over the retained prefix, and a parent
+	// always precedes its consumer, so every parent of a retained firing
+	// is retained.
+	cp := &CritPath{ByKind: map[string]int64{}}
+	tokens := map[Edge]*EdgeCycles{}
+	for seq := tr.Final; seq > 0; {
+		f := tr.Firings[seq-1]
+		parentEnd := int64(0)
+		if f.Parent > 0 {
+			parentEnd = tr.Firings[f.Parent-1].End
+		}
+		attr := f.End - parentEnd
+		if attr < 0 {
+			attr = 0
+		}
+		cp.Steps = append(cp.Steps, Step{Firing: f, Cycles: attr})
+		cp.ByKind[f.Node.Kind.String()] += attr
+		if f.Parent > 0 && f.ParentTok {
+			e := Edge{Graph: f.Graph, From: tr.Firings[f.Parent-1].Node, To: f.Node}
+			ec := tokens[e]
+			if ec == nil {
+				ec = &EdgeCycles{Edge: e}
+				tokens[e] = ec
+			}
+			ec.Cycles += attr
+			ec.Hops++
+			cp.TokenCycles += attr
+		}
+		seq = f.Parent
+	}
+	// The walk built the path final→start; flip it.
+	for i, j := 0, len(cp.Steps)-1; i < j; i, j = i+1, j-1 {
+		cp.Steps[i], cp.Steps[j] = cp.Steps[j], cp.Steps[i]
+	}
+	cp.Length = tr.Firings[tr.Final-1].End
+	for _, ec := range tokens {
+		cp.TokenEdges = append(cp.TokenEdges, *ec)
+	}
+	sort.Slice(cp.TokenEdges, func(i, j int) bool {
+		a, b := cp.TokenEdges[i], cp.TokenEdges[j]
+		if a.Cycles != b.Cycles {
+			return a.Cycles > b.Cycles
+		}
+		if a.Edge.From.ID != b.Edge.From.ID {
+			return a.Edge.From.ID < b.Edge.From.ID
+		}
+		return a.Edge.To.ID < b.Edge.To.ID
+	})
+	return cp
+}
+
+// Format renders the path summary: length, per-kind attribution, and the
+// topK hottest token edges.
+func (cp *CritPath) Format(topK int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "critical path: %d cycles over %d firings (%d on token edges)\n",
+		cp.Length, len(cp.Steps), cp.TokenCycles)
+	sb.WriteString("cycles by node kind:\n")
+	type kc struct {
+		kind   string
+		cycles int64
+	}
+	var kinds []kc
+	for k, c := range cp.ByKind {
+		kinds = append(kinds, kc{k, c})
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if kinds[i].cycles != kinds[j].cycles {
+			return kinds[i].cycles > kinds[j].cycles
+		}
+		return kinds[i].kind < kinds[j].kind
+	})
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "  %-10s %10d (%.1f%%)\n", k.kind, k.cycles,
+			100*float64(k.cycles)/float64(max64(cp.Length, 1)))
+	}
+	if len(cp.TokenEdges) > 0 {
+		fmt.Fprintf(&sb, "hottest token edges (top %d):\n", topK)
+		for i, ec := range cp.TokenEdges {
+			if i >= topK {
+				break
+			}
+			fmt.Fprintf(&sb, "  %s: %s -> %s: %d cycles over %d hops\n",
+				ec.Edge.Graph, ec.Edge.From, ec.Edge.To, ec.Cycles, ec.Hops)
+		}
+	}
+	return sb.String()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary renders the aggregate view of a trace: firing and memory event
+// counts, stall attribution by cause, and the per-kind latency and
+// input-wait histograms.
+func (tr *Trace) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: %d cycles, %d firings, %d memory events", tr.Cycles, len(tr.Firings), len(tr.Mem))
+	if tr.Truncated {
+		sb.WriteString(" (truncated)")
+	}
+	sb.WriteByte('\n')
+	if tr.TokenReleases > 0 || tr.MemPortStallCycles > 0 {
+		fmt.Fprintf(&sb, "memory: %d token releases, %d port-stall cycles, LSQ occupancy %s\n",
+			tr.TokenReleases, tr.MemPortStallCycles, tr.LSQOccupancy.String())
+	}
+	if len(tr.StallsByKind) > 0 {
+		sb.WriteString("stalled fire attempts by kind (data/token/backpressure/mem-port):\n")
+		for _, k := range sortedKeys(tr.StallsByKind) {
+			sc := tr.StallsByKind[k]
+			fmt.Fprintf(&sb, "  %-10s %10d %10d %10d %10d\n", k,
+				sc[StallData], sc[StallToken], sc[StallBackpressure], sc[StallMemPort])
+		}
+	}
+	if len(tr.LatencyByKind) > 0 {
+		sb.WriteString("firing latency by kind:\n")
+		for _, k := range sortedKeys(tr.LatencyByKind) {
+			fmt.Fprintf(&sb, "  %-10s %s\n", k, tr.LatencyByKind[k].String())
+		}
+	}
+	if len(tr.WaitByKind) > 0 {
+		sb.WriteString("input wait (operand skew) by kind:\n")
+		for _, k := range sortedKeys(tr.WaitByKind) {
+			fmt.Fprintf(&sb, "  %-10s %s\n", k, tr.WaitByKind[k].String())
+		}
+	}
+	return sb.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// holds values in [2^(i-1), 2^i), bucket 0 holds exactly 0.
+const histBuckets = 32
+
+// Hist is a fixed-size power-of-two histogram of non-negative cycle
+// counts. The zero value is ready to use; Add never allocates.
+type Hist struct {
+	Buckets [histBuckets]int64
+	Count   int64
+	Sum     int64
+	Max     int64
+}
+
+// Add records one sample (negative samples count as 0).
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	b := bits.Len64(uint64(v)) // 0→0, 1→1, 2..3→2, 4..7→3 …
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.Buckets[b]++
+}
+
+// Mean returns the average sample.
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// String renders the non-empty buckets as "[lo,hi):count" pairs.
+func (h *Hist) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d mean=%.1f max=%d", h.Count, h.Mean(), h.Max)
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		if lo == hi {
+			fmt.Fprintf(&sb, " %d:%d", lo, c)
+		} else {
+			fmt.Fprintf(&sb, " %d-%d:%d", lo, hi, c)
+		}
+	}
+	return sb.String()
+}
+
+// bucketBounds returns the inclusive value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return 1 << (i - 1), 1<<i - 1
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"spatial/internal/memsys"
+	"spatial/internal/pegasus"
+)
+
+// buildChain hand-drives a Tracer through a three-firing chain
+//
+//	load(end 10) --token--> store(end 12) --token--> return(end 15)
+//
+// with a side firing off the path, and returns the sealed trace.
+func buildChain(t *testing.T) (*Trace, []*pegasus.Node) {
+	t.Helper()
+	g := pegasus.NewGraph(nil)
+	g.Name = "f"
+	load := g.NewNode(pegasus.KLoad, 0)
+	store := g.NewNode(pegasus.KStore, 0)
+	ret := g.NewNode(pegasus.KReturn, 0)
+	side := g.NewNode(pegasus.KBinOp, 0)
+
+	tr := New(Config{})
+	// Firing 1: the load, no dynamic inputs.
+	tr.BeginFiring(0, "f", load)
+	tr.Emit(10)
+	tr.EndFiring(2, true)
+	// Firing 2: a side computation that will NOT be on the path.
+	tr.BeginFiring(0, "f", side)
+	tr.Consume(1, 10, false)
+	tr.Emit(11)
+	tr.EndFiring(10, true)
+	// Firing 3: the store; its last-arriving input is the load's token.
+	tr.BeginFiring(0, "f", store)
+	tr.Consume(1, 10, true)
+	tr.Emit(12)
+	tr.EndFiring(10, true)
+	// Firing 4: the return, fed by the store's token.
+	tr.BeginFiring(0, "f", ret)
+	tr.Consume(3, 12, true)
+	tr.Emit(15)
+	tr.MarkFinal()
+	tr.EndFiring(12, true)
+	return tr.Finish(15), []*pegasus.Node{load, store, ret, side}
+}
+
+func TestCriticalPathWalk(t *testing.T) {
+	tr, nodes := buildChain(t)
+	load, store, ret, side := nodes[0], nodes[1], nodes[2], nodes[3]
+	cp := tr.CriticalPath()
+	if cp == nil {
+		t.Fatal("no critical path")
+	}
+	if cp.Length != 15 {
+		t.Fatalf("path length %d, want 15", cp.Length)
+	}
+	if len(cp.Steps) != 3 {
+		t.Fatalf("path has %d steps, want 3", len(cp.Steps))
+	}
+	wantOrder := []*pegasus.Node{load, store, ret}
+	wantAttr := []int64{10, 2, 3} // 10-0, 12-10, 15-12
+	for i, s := range cp.Steps {
+		if s.Firing.Node != wantOrder[i] {
+			t.Fatalf("step %d is %s, want %s", i, s.Firing.Node, wantOrder[i])
+		}
+		if s.Cycles != wantAttr[i] {
+			t.Fatalf("step %d attributed %d cycles, want %d", i, s.Cycles, wantAttr[i])
+		}
+		if s.Firing.Node == side {
+			t.Fatal("side firing must not be on the path")
+		}
+	}
+	if cp.ByKind["load"] != 10 || cp.ByKind["store"] != 2 || cp.ByKind["return"] != 3 {
+		t.Fatalf("per-kind attribution wrong: %v", cp.ByKind)
+	}
+	if cp.TokenCycles != 5 {
+		t.Fatalf("token cycles %d, want 5 (store hop 2 + return hop 3)", cp.TokenCycles)
+	}
+	if len(cp.TokenEdges) != 2 {
+		t.Fatalf("token edges %d, want 2", len(cp.TokenEdges))
+	}
+	// Sorted hottest-first: return edge (3) before store edge (2).
+	if cp.TokenEdges[0].Edge.To != ret || cp.TokenEdges[0].Cycles != 3 {
+		t.Fatalf("hottest token edge wrong: %+v", cp.TokenEdges[0])
+	}
+	txt := cp.Format(5)
+	if !strings.Contains(txt, "critical path: 15 cycles") {
+		t.Fatalf("Format missing header:\n%s", txt)
+	}
+}
+
+func TestAbandonedFiringReusesSeq(t *testing.T) {
+	g := pegasus.NewGraph(nil)
+	n := g.NewNode(pegasus.KBinOp, 0)
+	tr := New(Config{})
+	tr.BeginFiring(0, "f", n)
+	tr.EndFiring(1, false) // blocked attempt: no record
+	tr.BeginFiring(0, "f", n)
+	tr.Emit(3)
+	tr.MarkFinal()
+	tr.EndFiring(2, true)
+	trace := tr.Finish(3)
+	if len(trace.Firings) != 1 {
+		t.Fatalf("recorded %d firings, want 1", len(trace.Firings))
+	}
+	if trace.Firings[0].Seq != 1 || trace.Final != 1 {
+		t.Fatalf("seq/final = %d/%d, want 1/1", trace.Firings[0].Seq, trace.Final)
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1000, -5} {
+		h.Add(v)
+	}
+	if h.Count != 9 {
+		t.Fatalf("count %d, want 9", h.Count)
+	}
+	if h.Max != 1000 {
+		t.Fatalf("max %d, want 1000", h.Max)
+	}
+	// -5 clamps to 0, so bucket 0 (value 0) holds two samples.
+	if h.Buckets[0] != 2 {
+		t.Fatalf("bucket 0 has %d, want 2", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 { // value 1
+		t.Fatalf("bucket 1 has %d, want 1", h.Buckets[1])
+	}
+	if h.Buckets[2] != 2 { // values 2,3
+		t.Fatalf("bucket 2 has %d, want 2", h.Buckets[2])
+	}
+	if h.Buckets[3] != 2 { // values 4..7
+		t.Fatalf("bucket 3 has %d, want 2", h.Buckets[3])
+	}
+	if !strings.Contains(h.String(), "n=9") {
+		t.Fatalf("String: %s", h.String())
+	}
+}
+
+func TestChromeExportShapes(t *testing.T) {
+	tr, _ := buildChain(t)
+	tr.Mem = append(tr.Mem, memsys.Event{
+		Start: 2, Issue: 3, Done: 11, Load: true, Addr: 0x40,
+		Bytes: 4, Port: 1, Queue: 2, Level: memsys.LvlL2, TLB: true,
+	})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var memEvent, fnProc, memProc bool
+	for _, e := range events {
+		if e["cat"] == "mem" && e["name"] == "load L2" {
+			memEvent = true
+			if e["dur"].(float64) != 8 {
+				t.Fatalf("mem event dur %v, want 8", e["dur"])
+			}
+		}
+		if e["ph"] == "M" && e["name"] == "process_name" {
+			name := e["args"].(map[string]any)["name"].(string)
+			if name == "fn f" {
+				fnProc = true
+			}
+			if name == "memory" {
+				memProc = true
+			}
+		}
+	}
+	if !memEvent || !fnProc || !memProc {
+		t.Fatalf("export missing tracks: mem=%v fn=%v memproc=%v", memEvent, fnProc, memProc)
+	}
+}
+
+func TestStallCounters(t *testing.T) {
+	g := pegasus.NewGraph(nil)
+	n := g.NewNode(pegasus.KEta, 0)
+	tr := New(Config{})
+	tr.Stall(n, StallData)
+	tr.Stall(n, StallData)
+	tr.Stall(n, StallToken)
+	tr.Stall(n, StallBackpressure)
+	trace := tr.Finish(0)
+	sc := trace.StallsByKind["eta"]
+	if sc == nil {
+		t.Fatal("no eta stall entry")
+	}
+	if sc[StallData] != 2 || sc[StallToken] != 1 || sc[StallBackpressure] != 1 {
+		t.Fatalf("stall counts %v", *sc)
+	}
+	if trace.StallsByNode[n] == nil || trace.StallsByNode[n][StallData] != 2 {
+		t.Fatal("per-node stall counts missing")
+	}
+}
+
+func TestMemEventObserver(t *testing.T) {
+	tr := New(Config{})
+	tr.MemEvent(memsys.Event{Start: 0, Issue: 4, Done: 6, Load: true, Queue: 3})
+	tr.MemEvent(memsys.Event{Start: 5, Issue: 5, Done: 7, Load: false, Queue: 1})
+	trace := tr.Finish(10)
+	if trace.MemPortStallCycles != 4 {
+		t.Fatalf("port stall cycles %d, want 4", trace.MemPortStallCycles)
+	}
+	if trace.LSQOccupancy.Count != 2 || trace.LSQOccupancy.Max != 3 {
+		t.Fatalf("LSQ occupancy histogram wrong: %s", trace.LSQOccupancy.String())
+	}
+	if sc := trace.StallsByKind["load"]; sc == nil || sc[StallMemPort] != 4 {
+		t.Fatal("mem-port stall not attributed to loads")
+	}
+}

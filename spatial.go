@@ -55,6 +55,20 @@ type SimConfig = core.SimConfig
 // SimResult is the outcome of a dataflow simulation.
 type SimResult = core.SimResult
 
+// TraceConfig parameterizes trace collection for WithTrace /
+// Compiled.RunTraced.
+type TraceConfig = core.TraceConfig
+
+// Trace is the cycle-timestamped event stream of a traced run: node
+// firings, stall attribution, and memory events. It supports dynamic
+// critical-path extraction (CriticalPath) and Chrome trace-event export
+// (WriteChrome, viewable in about://tracing or Perfetto).
+type Trace = core.Trace
+
+// CritPath is a dynamic critical path through the executed dataflow
+// graph, with cycles attributed per node kind and per token edge.
+type CritPath = core.CritPath
+
 // Optimization levels re-exported for convenience.
 const (
 	OptNone   = opt.None
@@ -75,6 +89,9 @@ func WithMemory(m MemConfig) Option { return core.WithMemory(m) }
 // WithSim sets the full default simulator configuration.
 func WithSim(s SimConfig) Option { return core.WithSim(s) }
 
+// WithTrace sets the trace-collection configuration RunTraced uses.
+func WithTrace(tc TraceConfig) Option { return core.WithTrace(tc) }
+
 // LevelPasses returns the pass toggles a preset enables, as a starting
 // point for WithPasses overrides.
 func LevelPasses(l Level) Passes { return opt.LevelOptions(l) }
@@ -88,6 +105,9 @@ func PaperMemory(ports int) MemConfig { return core.PaperMemory(ports) }
 
 // DefaultSim returns the default simulation configuration.
 func DefaultSim() SimConfig { return core.DefaultSim() }
+
+// DefaultTrace returns the default trace-collection configuration.
+func DefaultTrace() TraceConfig { return core.DefaultTrace() }
 
 // Compile parses, checks, builds, and optimizes a cMinor program.
 func Compile(src string, opts ...Option) (*Compiled, error) {

@@ -1,6 +1,8 @@
 package spatial_test
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"spatial"
@@ -108,5 +110,44 @@ func TestPublicAPILevels(t *testing.T) {
 		if res.Value != 42 {
 			t.Errorf("%s: f(41) = %d, want 42", name, res.Value)
 		}
+	}
+}
+
+func TestPublicAPITracing(t *testing.T) {
+	src := `
+int v[16];
+int f(int n) {
+  int i;
+  int s = 0;
+  for (i = 0; i < n; i++) v[i] = i + 1;
+  for (i = 0; i < n; i++) s += v[i];
+  return s;
+}`
+	cp, err := spatial.Compile(src,
+		spatial.WithLevel(spatial.OptFull),
+		spatial.WithTrace(spatial.DefaultTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, tr, err := cp.RunTraced("f", []int64{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 136 {
+		t.Errorf("f(16) = %d, want 136", res.Value)
+	}
+	crit := tr.CriticalPath()
+	if crit == nil {
+		t.Fatal("no critical path")
+	}
+	if crit.Length <= 0 || crit.Length > res.Stats.Cycles {
+		t.Errorf("critical path %d outside (0, %d]", crit.Length, res.Stats.Cycles)
+	}
+	var buf strings.Builder
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(buf.String())) {
+		t.Error("Chrome export is not valid JSON")
 	}
 }
