@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all check fmt vet build test bench examples
+.PHONY: all check fmt vet build test bench examples fuzz
 
 all: check
 
@@ -24,6 +25,12 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# fuzz runs the differential fuzzer for a short budget: generated
+# programs must match the interpreter oracle at every optimization
+# level, clean and under injected faults.
+fuzz:
+	$(GO) test -fuzz=FuzzDifferential -fuzztime=$(FUZZTIME) -run '^$$' ./internal/difftest
 
 examples:
 	@for d in examples/*/; do \

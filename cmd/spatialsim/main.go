@@ -1,20 +1,35 @@
 // Command spatialsim compiles a cMinor program and executes a function on
 // the self-timed dataflow simulator, printing the result and execution
 // statistics. It can also run the sequential interpreter baseline for
-// comparison.
+// comparison, bound the run by a wall-clock timeout, and inject faults to
+// probe the circuit's robustness.
 //
 // Usage:
 //
 //	spatialsim [-O level] [-entry name] [-mem perfect|real1|real2|real4]
 //	           [-seq] [-edgecap n] [-profile] [-topk n] [-trace out.json]
+//	           [-timeout d] [-jitter seed] [-drop n] [-droptok n] [-memfail n]
 //	           file.c [args...]
 //
 // -trace records the full event stream, writes a Chrome trace-event file
 // (loadable in about://tracing or Perfetto), and prints the trace summary
 // and dynamic critical path.
+//
+// Exit codes distinguish the failure class so scripts can triage without
+// parsing messages:
+//
+//	0  success
+//	1  other error (I/O, internal)
+//	2  usage
+//	3  compile error
+//	4  deadlock (the stuck report is printed to stderr)
+//	5  livelock (cycle budget exceeded)
+//	6  detected fault (corrupted memory response)
+//	7  wall-clock timeout
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +50,11 @@ func main() {
 	profile := flag.Bool("profile", false, "print per-operator firing profile")
 	topK := flag.Int("topk", 10, "entries in profile and critical-path reports")
 	traceOut := flag.String("trace", "", "trace the run and write Chrome trace JSON to this file")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unbounded)")
+	jitter := flag.Int64("jitter", 0, "inject seeded random edge/memory delays (must be absorbed)")
+	drop := flag.Int("drop", 0, "drop the n-th value delivery (expect a diagnosed deadlock)")
+	dropTok := flag.Int("droptok", 0, "drop the n-th token delivery (expect a diagnosed deadlock)")
+	memFail := flag.Int("memfail", 0, "corrupt the n-th memory response (expect a detected fault)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: spatialsim [flags] file.c [args...]")
@@ -61,18 +81,24 @@ func main() {
 		}
 		args = append(args, v)
 	}
-	cp, err := core.CompileSource(string(src), core.Options{Level: lv})
+	inj, err := buildInjector(*jitter, *drop, *dropTok, *memFail)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "spatialsim:", err)
+		os.Exit(2)
 	}
 	cfg := core.DefaultSim()
 	cfg.Mem = mcfg
 	cfg.EdgeCap = *edgeCap
+	cp, err := core.CompileSource(string(src), core.Options{Level: lv},
+		core.WithSim(cfg), core.WithDeadline(*timeout))
+	if err != nil {
+		fatal(err)
+	}
 	var res *core.SimResult
 	switch {
 	case *traceOut != "":
 		var tr *core.Trace
-		res, tr, err = cp.RunTracedWith(*entry, args, cfg, core.DefaultTrace())
+		res, tr, err = cp.RunTraced(*entry, args)
 		if err != nil {
 			fatal(err)
 		}
@@ -94,14 +120,23 @@ func main() {
 			fmt.Printf("wrote %s\n", *traceOut)
 		}()
 	case *profile:
-		var prof *dataflow.Profile
-		res, prof, err = dataflow.RunProfiled(cp.Program, *entry, args, cfg)
+		var prof *core.Profile
+		res, prof, err = cp.RunProfiled(*entry, args)
 		if err != nil {
 			fatal(err)
 		}
 		defer fmt.Print(prof.Format(*topK))
+	case inj != nil:
+		res, err = cp.RunFaulted(nil, *entry, args, inj)
+		if err != nil {
+			for _, t := range inj.Triggered() {
+				fmt.Fprintln(os.Stderr, "injected:", t)
+			}
+			fatal(err)
+		}
+		fmt.Printf("faults absorbed: %d injected, result unchanged below\n", len(inj.Triggered()))
 	default:
-		res, err = cp.RunWith(*entry, args, cfg)
+		res, err = cp.Run(*entry, args)
 		if err != nil {
 			fatal(err)
 		}
@@ -126,6 +161,31 @@ func main() {
 			fatal(fmt.Errorf("MISMATCH: spatial %d vs sequential %d", res.Value, sres.Value))
 		}
 	}
+}
+
+// buildInjector assembles the fault injector the flags describe, or nil
+// when no fault flag is set.
+func buildInjector(jitter int64, drop, dropTok, memFail int) (*core.FaultInjector, error) {
+	var plan core.FaultPlan
+	if drop > 0 {
+		plan.Faults = append(plan.Faults, core.Fault{Op: core.FaultDrop, Node: -1, Edge: -1, Nth: drop})
+	}
+	if dropTok > 0 {
+		plan.Faults = append(plan.Faults, core.Fault{Op: core.FaultDrop, Node: -1, Edge: -1, Token: true, Nth: dropTok})
+	}
+	if memFail > 0 {
+		plan.Faults = append(plan.Faults, core.Fault{Op: core.FaultMemFail, Node: -1, Edge: -1, Nth: memFail})
+	}
+	if jitter != 0 {
+		if len(plan.Faults) > 0 {
+			return nil, errors.New("-jitter cannot be combined with planned faults (-drop/-droptok/-memfail)")
+		}
+		return core.NewJitterInjector(jitter, 0.05, 8), nil
+	}
+	if len(plan.Faults) == 0 {
+		return nil, nil
+	}
+	return core.NewInjector(plan), nil
 }
 
 func parseLevel(s string) (opt.Level, error) {
@@ -156,7 +216,27 @@ func parseMem(s string) (memsys.Config, error) {
 	return memsys.Config{}, fmt.Errorf("unknown memory system %q", s)
 }
 
+// fatal prints the error and exits with a code identifying its class.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "spatialsim:", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
+}
+
+func exitCode(err error) int {
+	var de *core.DeadlockError
+	var le *core.LivelockError
+	switch {
+	case errors.As(err, &de):
+		return 4
+	case errors.As(err, &le):
+		return 5
+	case errors.Is(err, dataflow.ErrMemFault):
+		return 6
+	case errors.Is(err, dataflow.ErrCanceled):
+		return 7
+	case errors.Is(err, core.ErrCompile):
+		return 3
+	default:
+		return 1
+	}
 }

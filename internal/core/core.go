@@ -17,11 +17,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"spatial/internal/build"
 	"spatial/internal/cminor"
 	"spatial/internal/dataflow"
+	"spatial/internal/faultsim"
 	"spatial/internal/interp"
 	"spatial/internal/memsys"
 	"spatial/internal/opt"
@@ -35,10 +38,11 @@ type Option interface {
 }
 
 type config struct {
-	level  opt.Level
-	passes *opt.Options
-	sim    dataflow.Config
-	trc    trace.Config
+	level    opt.Level
+	passes   *opt.Options
+	sim      dataflow.Config
+	trc      trace.Config
+	deadline time.Duration
 }
 
 type optionFunc func(*config)
@@ -73,6 +77,14 @@ func WithTrace(tc TraceConfig) Option {
 	return optionFunc(func(c *config) { c.trc = tc })
 }
 
+// WithDeadline bounds every Run of the compiled program by a wall-clock
+// duration: a run past the deadline aborts with an ErrSim-classed error
+// wrapping dataflow.ErrCanceled. Zero (the default) means no wall-clock
+// bound; the cycle budget (SimConfig.MaxCycles) still applies.
+func WithDeadline(d time.Duration) Option {
+	return optionFunc(func(c *config) { c.deadline = d })
+}
+
 // Options configures compilation.
 //
 // Deprecated: Options is the legacy struct-style configuration, kept so
@@ -104,35 +116,45 @@ type Compiled struct {
 	Sim SimConfig
 	// Trace is the trace-collection configuration RunTraced uses.
 	Trace TraceConfig
+	// Deadline is the wall-clock budget each Run gets (see WithDeadline);
+	// zero means unbounded.
+	Deadline time.Duration
 }
 
 // CompileSource parses, checks, builds, and optimizes a cMinor program.
-func CompileSource(src string, opts ...Option) (*Compiled, error) {
+// Every failure — including an invalid configuration option or a panic in
+// a compiler pass — comes back classified under ErrCompile (or ErrInternal
+// for recovered panics), never as a panic.
+func CompileSource(src string, opts ...Option) (cp *Compiled, err error) {
+	defer guard(&err)
 	cfg := config{sim: dataflow.DefaultConfig()}
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
+	if err := cfg.sim.Validate(); err != nil {
+		return nil, classify(ErrCompile, err)
+	}
 	prog, err := cminor.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, classify(ErrCompile, err)
 	}
 	if err := cminor.Check(prog); err != nil {
-		return nil, err
+		return nil, classify(ErrCompile, err)
 	}
 	p, err := build.Compile(prog)
 	if err != nil {
-		return nil, err
+		return nil, classify(ErrCompile, err)
 	}
 	passes := opt.LevelOptions(cfg.level)
 	if cfg.passes != nil {
 		passes = *cfg.passes
 	}
 	if err := opt.Optimize(p, passes); err != nil {
-		return nil, err
+		return nil, classify(ErrCompile, err)
 	}
 	// Normalize once here: the Config this Compiled reports is the Config
 	// its runs actually execute under, zero fields already defaulted.
-	return &Compiled{Program: p, Source: prog, Level: cfg.level, Sim: cfg.sim.Normalized(), Trace: cfg.trc}, nil
+	return &Compiled{Program: p, Source: prog, Level: cfg.level, Sim: cfg.sim.Normalized(), Trace: cfg.trc, Deadline: cfg.deadline}, nil
 }
 
 // SimConfig configures a spatial execution.
@@ -152,19 +174,66 @@ func PerfectMemory() memsys.Config { return memsys.PerfectConfig() }
 // Section 7.3 with the given port count.
 func PaperMemory(ports int) memsys.Config { return memsys.PaperConfig(ports) }
 
-// Run executes entry(args...) on the dataflow (spatial) simulator with
-// the program's default configuration (see WithMemory / WithSim).
-func (c *Compiled) Run(entry string, args []int64) (*SimResult, error) {
-	cfg := c.Sim
-	if cfg == (SimConfig{}) {
-		cfg = dataflow.DefaultConfig()
+// simConfig returns the effective default simulator configuration.
+func (c *Compiled) simConfig() SimConfig {
+	if c.Sim == (SimConfig{}) {
+		return dataflow.DefaultConfig()
 	}
-	return dataflow.Run(c.Program, entry, args, cfg)
+	return c.Sim
+}
+
+// deadlineCtx applies the program's wall-clock budget (WithDeadline) on
+// top of the caller's context. The CancelFunc must always be called.
+func (c *Compiled) deadlineCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.Deadline > 0 {
+		return context.WithTimeout(ctx, c.Deadline)
+	}
+	return ctx, func() {}
+}
+
+// Run executes entry(args...) on the dataflow (spatial) simulator with
+// the program's default configuration (see WithMemory / WithSim). All
+// failures come back as ErrSim-classed errors (ErrInternal for recovered
+// panics); deadlocks and livelocks carry a *DeadlockError/*LivelockError
+// with a structured StuckReport, reachable through errors.As.
+func (c *Compiled) Run(entry string, args []int64) (*SimResult, error) {
+	return c.RunCtx(context.Background(), entry, args)
+}
+
+// RunCtx is Run with cooperative cancellation: the simulator polls ctx
+// between events, so canceling it (or exceeding the WithDeadline budget)
+// aborts the run with an ErrSim-classed error wrapping
+// dataflow.ErrCanceled.
+func (c *Compiled) RunCtx(ctx context.Context, entry string, args []int64) (res *SimResult, err error) {
+	defer guard(&err)
+	ctx, cancel := c.deadlineCtx(ctx)
+	defer cancel()
+	res, err = dataflow.RunCtx(ctx, c.Program, entry, args, c.simConfig())
+	return res, classify(ErrSim, err)
+}
+
+// RunFaulted is RunCtx under fault injection: inj perturbs edge
+// deliveries, fire attempts, and memory responses during the run. Use
+// NewInjector (planned faults) or NewJitterInjector (seeded random
+// delays) to build inj; a nil inj behaves like RunCtx.
+func (c *Compiled) RunFaulted(ctx context.Context, entry string, args []int64, inj *FaultInjector) (res *SimResult, err error) {
+	defer guard(&err)
+	ctx, cancel := c.deadlineCtx(ctx)
+	defer cancel()
+	res, err = dataflow.RunFaulted(ctx, c.Program, entry, args, c.simConfig(), inj)
+	return res, classify(ErrSim, err)
 }
 
 // RunWith executes with an explicit simulator configuration.
-func (c *Compiled) RunWith(entry string, args []int64, cfg SimConfig) (*SimResult, error) {
-	return dataflow.Run(c.Program, entry, args, cfg)
+func (c *Compiled) RunWith(entry string, args []int64, cfg SimConfig) (res *SimResult, err error) {
+	defer guard(&err)
+	ctx, cancel := c.deadlineCtx(nil)
+	defer cancel()
+	res, err = dataflow.RunCtx(ctx, c.Program, entry, args, cfg)
+	return res, classify(ErrSim, err)
 }
 
 // Profile counts node firings during a profiled run.
@@ -172,12 +241,12 @@ type Profile = dataflow.Profile
 
 // RunProfiled executes like Run while recording per-operator firing
 // counts.
-func (c *Compiled) RunProfiled(entry string, args []int64) (*SimResult, *Profile, error) {
-	cfg := c.Sim
-	if cfg == (SimConfig{}) {
-		cfg = dataflow.DefaultConfig()
-	}
-	return dataflow.RunProfiled(c.Program, entry, args, cfg)
+func (c *Compiled) RunProfiled(entry string, args []int64) (res *SimResult, prof *Profile, err error) {
+	defer guard(&err)
+	ctx, cancel := c.deadlineCtx(nil)
+	defer cancel()
+	res, prof, err = dataflow.RunProfiledCtx(ctx, c.Program, entry, args, c.simConfig())
+	return res, prof, classify(ErrSim, err)
 }
 
 // TraceConfig parameterizes trace collection (see WithTrace).
@@ -196,28 +265,30 @@ func DefaultTrace() TraceConfig { return trace.DefaultConfig() }
 // node firings with start/end cycles, stall attribution, and memory
 // events. The Trace supports critical-path extraction
 // (Trace.CriticalPath) and Chrome trace-event export (Trace.WriteChrome).
-func (c *Compiled) RunTraced(entry string, args []int64) (*SimResult, *Trace, error) {
-	cfg := c.Sim
-	if cfg == (SimConfig{}) {
-		cfg = dataflow.DefaultConfig()
-	}
-	return dataflow.RunTraced(c.Program, entry, args, cfg, c.Trace)
+func (c *Compiled) RunTraced(entry string, args []int64) (res *SimResult, tr *Trace, err error) {
+	return c.RunTracedWith(entry, args, c.simConfig(), c.Trace)
 }
 
 // RunTracedWith is RunTraced with explicit simulator and trace
 // configurations.
-func (c *Compiled) RunTracedWith(entry string, args []int64, cfg SimConfig, tc TraceConfig) (*SimResult, *Trace, error) {
-	return dataflow.RunTraced(c.Program, entry, args, cfg, tc)
+func (c *Compiled) RunTracedWith(entry string, args []int64, cfg SimConfig, tc TraceConfig) (res *SimResult, tr *Trace, err error) {
+	defer guard(&err)
+	ctx, cancel := c.deadlineCtx(nil)
+	defer cancel()
+	res, tr, err = dataflow.RunTracedCtx(ctx, c.Program, entry, args, cfg, tc)
+	return res, tr, classify(ErrSim, err)
 }
 
 // RunSequential executes on the in-order AST interpreter (the sequential
 // baseline) against the program's default memory system.
-func (c *Compiled) RunSequential(entry string, args []int64) (*interp.Result, error) {
+func (c *Compiled) RunSequential(entry string, args []int64) (res *interp.Result, err error) {
+	defer guard(&err)
 	mem := c.Sim.Mem
 	if mem == (memsys.Config{}) {
 		mem = memsys.PerfectConfig()
 	}
-	return interp.New(c.Program, mem).Run(entry, args)
+	res, err = interp.New(c.Program, mem).Run(entry, args)
+	return res, classify(ErrSim, err)
 }
 
 // Graph returns the Pegasus graph of a function.
@@ -259,4 +330,36 @@ func (c *Compiled) Verify() error {
 		}
 	}
 	return nil
+}
+
+// Fault is one planned perturbation of a run (see faultsim.Fault).
+type Fault = faultsim.Fault
+
+// FaultPlan is a set of faults to inject during one run.
+type FaultPlan = faultsim.Plan
+
+// FaultInjector deterministically perturbs a run (see Compiled.RunFaulted).
+type FaultInjector = faultsim.Injector
+
+// FaultOp enumerates fault kinds (FaultDrop, FaultDelay, ...).
+type FaultOp = faultsim.Op
+
+// Fault operations re-exported for convenience.
+const (
+	FaultDrop       = faultsim.Drop
+	FaultDuplicate  = faultsim.Duplicate
+	FaultDelay      = faultsim.Delay
+	FaultFreeze     = faultsim.Freeze
+	FaultMemStretch = faultsim.MemStretch
+	FaultMemFail    = faultsim.MemFail
+)
+
+// NewInjector compiles a fault plan into an injector for RunFaulted.
+func NewInjector(p FaultPlan) *FaultInjector { return faultsim.New(p) }
+
+// NewJitterInjector returns an injector that delays a seeded random
+// fraction `rate` of edge deliveries and memory responses — perturbations
+// a correct self-timed circuit must absorb without changing its result.
+func NewJitterInjector(seed int64, rate float64, maxDelay int64) *FaultInjector {
+	return faultsim.NewJitter(seed, rate, maxDelay)
 }

@@ -1,0 +1,51 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for fire-path failures. They replace the panics the
+// simulator used to raise mid-dispatch: the machine latches the first
+// failure and the run loop surfaces it as the Run* error, so a sick
+// program can never kill its caller.
+var (
+	// ErrActivationLimit: a call would exceed Config.MaxActivations
+	// (runaway recursion or call fan-out).
+	ErrActivationLimit = errors.New("dataflow: activation limit exceeded (runaway recursion?)")
+	// ErrUnbuiltCall: a call node names a function with no built graph
+	// (an extern declaration with no body).
+	ErrUnbuiltCall = errors.New("dataflow: call to unbuilt function")
+	// ErrStackOverflow: frame allocation ran past the simulated memory.
+	ErrStackOverflow = errors.New("dataflow: simulated stack overflow")
+	// ErrMemFault: an injected memory-response fault was detected.
+	ErrMemFault = errors.New("dataflow: corrupted memory response detected")
+	// ErrCanceled: the run's context was canceled or timed out.
+	ErrCanceled = errors.New("dataflow: run canceled")
+)
+
+// DeadlockError reports that the event queue drained with the entry
+// activation incomplete: some set of nodes waits forever. Report carries
+// the wait-for graph diagnosis.
+type DeadlockError struct {
+	Report *StuckReport
+}
+
+// Error renders the full diagnosis; the first line is the summary.
+func (e *DeadlockError) Error() string {
+	return e.Report.Render()
+}
+
+// LivelockError reports that the simulation passed Config.MaxCycles
+// without completing: events keep flowing but the program makes no
+// progress (or is simply over budget). Report carries the blocked-node
+// snapshot at the cutoff.
+type LivelockError struct {
+	MaxCycles int64
+	Report    *StuckReport
+}
+
+// Error renders the full diagnosis; the first line is the summary.
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("dataflow: exceeded %d cycles\n%s", e.MaxCycles, e.Report.Render())
+}

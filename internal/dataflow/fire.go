@@ -42,6 +42,13 @@ func (m *machine) fireOnce(a *activation, n *pegasus.Node) bool {
 	if a.done || a.gi.static[n.ID] || n.Dead {
 		return false
 	}
+	if m.inj != nil {
+		if thaw := m.inj.FrozenUntil(m.now, a.gi.g.Name, n.ID); thaw > m.now {
+			// Frozen: recheck when the freeze expires.
+			m.push(&event{time: thaw, kind: evCheck, act: a, node: n})
+			return false
+		}
+	}
 	if a.gi.dynIns[n.ID] == 0 && n.Kind != pegasus.KEntryTok {
 		// No wave signal: fire exactly once per activation.
 		st := m.state(a, n)
@@ -395,6 +402,10 @@ func (m *machine) fireMemOp(a *activation, n *pegasus.Node) bool {
 		m.writeMem(addr, n.Bytes, ins[1])
 		m.emit(a, n, pegasus.OutToken, 1, m.now+1)
 	}
+	if m.inj != nil && m.msys.TakeFault() {
+		// An injected memory fault: detected, never silently absorbed.
+		m.fail(fmt.Errorf("%w: %s at address 0x%x, cycle %d", ErrMemFault, n, addr, m.now))
+	}
 	if m.tracer != nil {
 		// The token is released at issue, one cycle after firing — before
 		// the response returns; this early release is what lets dependent
@@ -427,10 +438,13 @@ func (m *machine) fireCall(a *activation, n *pegasus.Node) bool {
 	}
 	callee := m.prog.Graph(n.Callee.Name)
 	if callee == nil {
-		panic(fmt.Sprintf("dataflow: call to unbuilt function %s", n.Callee.Name))
+		m.fail(fmt.Errorf("%w: %s (extern declaration with no body?)", ErrUnbuiltCall, n.Callee.Name))
+		return false
 	}
 	if m.nextActID >= m.cfg.MaxActivations {
-		panic("dataflow: activation limit exceeded (runaway recursion?)")
+		m.fail(fmt.Errorf("%w: %d activations, calling %s at cycle %d",
+			ErrActivationLimit, m.nextActID, n.Callee.Name, m.now))
+		return false
 	}
 	m.stats.Calls++
 	m.newActivation(callee, ins, n, a)

@@ -1,19 +1,33 @@
 package dataflow
 
 import (
+	"context"
 	"fmt"
 
+	"spatial/internal/faultsim"
 	"spatial/internal/memsys"
 	"spatial/internal/pegasus"
 	"spatial/internal/trace"
 )
 
-// runMachine is the single internal runner behind Run, RunInspect,
-// RunProfiled, and RunTraced: it validates the entry point, assembles a
-// machine with the requested observers (either may be nil), executes it,
-// and seals the statistics. Observers are strictly additive — a nil
-// profile and tracer reproduce the plain Run fast path.
-func runMachine(p *pegasus.Program, entry string, args []int64, cfg Config, prof *Profile, tr *trace.Tracer) (*Result, *machine, error) {
+// runOpts bundles the optional observers and controls of one run; the
+// zero value reproduces the plain Run fast path.
+type runOpts struct {
+	prof *Profile
+	tr   *trace.Tracer
+	ctx  context.Context
+	inj  *faultsim.Injector
+}
+
+// runMachine is the single internal runner behind every Run* variant: it
+// validates the configuration and entry point, assembles a machine with
+// the requested observers (any may be nil), executes it, and seals the
+// statistics. Observers are strictly additive — a zero runOpts
+// reproduces the plain Run fast path.
+func runMachine(p *pegasus.Program, entry string, args []int64, cfg Config, o runOpts) (*Result, *machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
 	cfg = cfg.withDefaults()
 	g := p.Graph(entry)
 	if g == nil {
@@ -31,23 +45,31 @@ func runMachine(p *pegasus.Program, entry string, args []int64, cfg Config, prof
 		sp:         p.Layout.StackBase,
 		freeFrames: map[uint32][]uint32{},
 		producers:  map[prodKey][]prodRef{},
-		profile:    prof,
-		tracer:     tr,
+		profile:    o.prof,
+		tracer:     o.tr,
+		inj:        o.inj,
+		ctx:        o.ctx,
 	}
-	if tr != nil {
-		m.msys.SetObserver(tr)
+	if o.tr != nil {
+		m.msys.SetObserver(o.tr)
+	}
+	if o.inj != nil {
+		m.msys.SetPerturber(o.inj)
 	}
 	for _, c := range p.Layout.Init {
 		m.writeMem(c.Addr, c.Size, c.Value)
 	}
 	m.mainAct = m.newActivation(g, args, nil, nil)
+	if m.err != nil {
+		return nil, nil, m.err
+	}
 	if err := m.run(); err != nil {
 		return nil, nil, err
 	}
 	m.stats.Cycles = m.now
 	m.stats.Mem = m.msys.Stats()
-	if prof != nil {
-		prof.cycles = m.now
+	if o.prof != nil {
+		o.prof.cycles = m.now
 	}
 	return &Result{Value: m.mainVal, Stats: m.stats}, m, nil
 }
@@ -55,14 +77,29 @@ func runMachine(p *pegasus.Program, entry string, args []int64, cfg Config, prof
 // Run executes entry(args...) on program p and returns the result value
 // and statistics.
 func Run(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, error) {
-	res, _, err := runMachine(p, entry, args, cfg, nil, nil)
+	res, _, err := runMachine(p, entry, args, cfg, runOpts{})
+	return res, err
+}
+
+// RunCtx is Run with cooperative cancellation: the simulator polls ctx
+// between events and aborts with an error wrapping ErrCanceled (and the
+// ctx cause) once it is done or past its deadline.
+func RunCtx(ctx context.Context, p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, error) {
+	res, _, err := runMachine(p, entry, args, cfg, runOpts{ctx: ctx})
+	return res, err
+}
+
+// RunFaulted is Run under fault injection: inj perturbs edge deliveries,
+// fire attempts, and memory responses. ctx may be nil.
+func RunFaulted(ctx context.Context, p *pegasus.Program, entry string, args []int64, cfg Config, inj *faultsim.Injector) (*Result, error) {
+	res, _, err := runMachine(p, entry, args, cfg, runOpts{ctx: ctx, inj: inj})
 	return res, err
 }
 
 // RunInspect is Run but also returns an Inspector for post-mortem memory
 // reads.
 func RunInspect(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, *Inspector, error) {
-	res, m, err := runMachine(p, entry, args, cfg, nil, nil)
+	res, m, err := runMachine(p, entry, args, cfg, runOpts{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -71,8 +108,14 @@ func RunInspect(p *pegasus.Program, entry string, args []int64, cfg Config) (*Re
 
 // RunProfiled is Run with per-node firing profiling enabled.
 func RunProfiled(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, *Profile, error) {
+	return RunProfiledCtx(nil, p, entry, args, cfg)
+}
+
+// RunProfiledCtx is RunProfiled with cooperative cancellation; ctx may be
+// nil.
+func RunProfiledCtx(ctx context.Context, p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, *Profile, error) {
 	prof := newProfile()
-	res, _, err := runMachine(p, entry, args, cfg, prof, nil)
+	res, _, err := runMachine(p, entry, args, cfg, runOpts{prof: prof, ctx: ctx})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -83,8 +126,14 @@ func RunProfiled(p *pegasus.Program, entry string, args []int64, cfg Config) (*R
 // memory request is recorded into a trace.Trace for critical-path and
 // timeline analysis.
 func RunTraced(p *pegasus.Program, entry string, args []int64, cfg Config, tcfg trace.Config) (*Result, *trace.Trace, error) {
+	return RunTracedCtx(nil, p, entry, args, cfg, tcfg)
+}
+
+// RunTracedCtx is RunTraced with cooperative cancellation; ctx may be
+// nil.
+func RunTracedCtx(ctx context.Context, p *pegasus.Program, entry string, args []int64, cfg Config, tcfg trace.Config) (*Result, *trace.Trace, error) {
 	tr := trace.New(tcfg)
-	res, m, err := runMachine(p, entry, args, cfg, nil, tr)
+	res, m, err := runMachine(p, entry, args, cfg, runOpts{tr: tr, ctx: ctx})
 	if err != nil {
 		return nil, nil, err
 	}

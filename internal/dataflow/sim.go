@@ -10,9 +10,11 @@ package dataflow
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"spatial/internal/cminor"
+	"spatial/internal/faultsim"
 	"spatial/internal/memsys"
 	"spatial/internal/pegasus"
 	"spatial/internal/trace"
@@ -51,10 +53,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validate rejects nonsensical configurations with actionable messages.
+// Zero fields mean "use the default" and pass; negative values are
+// errors, not silently patched. Every Run* entry point and Normalized's
+// facade callers validate before defaulting.
+func (c Config) Validate() error {
+	if c.EdgeCap < 0 {
+		return fmt.Errorf("dataflow: EdgeCap %d is negative; use 0 for the default (1) or a positive buffer depth", c.EdgeCap)
+	}
+	if c.MaxCycles < 0 {
+		return fmt.Errorf("dataflow: MaxCycles %d is negative; use 0 for the default budget or a positive cycle count", c.MaxCycles)
+	}
+	if c.MaxActivations < 0 {
+		return fmt.Errorf("dataflow: MaxActivations %d is negative; use 0 for the default or a positive activation bound", c.MaxActivations)
+	}
+	return c.Mem.Validate()
+}
+
 // Normalized returns the configuration with every zero field replaced by
 // its default — exactly what a run with this Config executes under. The
 // facade normalizes once at compile time so the Config it reports
-// matches what actually ran.
+// matches what actually ran; it validates first (see Validate), so
+// nonsensical values fail loudly there instead of being silently fixed.
 func (c Config) Normalized() Config { return c.withDefaults() }
 
 // Stats aggregates execution statistics.
@@ -173,6 +193,11 @@ type nodeState struct {
 	// lastDeliver enforces in-order output delivery.
 	lastDeliverVal int64
 	lastDeliverTok int64
+	// nextVal/nextTok, allocated only under fault injection, track the
+	// earliest legal delivery time per consumer edge so injected delays
+	// preserve the edge's FIFO order (a slow wire is still a wire).
+	nextVal []int64
+	nextTok []int64
 	// tokgen counter
 	counter int
 	// firedOnce marks completion of zero-dynamic-input nodes.
@@ -287,6 +312,19 @@ type machine struct {
 	// check and allocates nothing when disabled.
 	tracer *trace.Tracer
 
+	// inj, when non-nil, perturbs deliveries, fire attempts, and memory
+	// responses (fault injection). Nil-guarded like the tracer.
+	inj *faultsim.Injector
+
+	// ctx, when non-nil, cancels the run between events.
+	ctx     context.Context
+	ctxTick int
+	// err latches the first fire-path failure; the run loop stops on it.
+	err error
+
+	// acts registers every activation for stuck-state diagnosis.
+	acts []*activation
+
 	// latchProducer remembers, for each latched entry, which producer
 	// edge to release on consumption: keyed by (act,node,port) parallel
 	// to the latch FIFO.
@@ -330,6 +368,7 @@ func (m *machine) newActivation(g *pegasus.Graph, args []int64, retTo *pegasus.N
 		retAct: retAct,
 	}
 	m.nextActID++
+	m.acts = append(m.acts, a)
 	a.frame = m.allocFrame(g.Fn)
 	// Fire the entry token.
 	if g.Entry != nil {
@@ -358,9 +397,17 @@ func (m *machine) allocFrame(fn *cminor.FuncDecl) uint32 {
 	f := m.sp
 	m.sp += (size + 7) &^ 7
 	if m.sp >= m.prog.Layout.MemSize {
-		panic("dataflow: simulated stack overflow")
+		m.fail(fmt.Errorf("%w: %d frames live, frame top 0x%x past memory size 0x%x",
+			ErrStackOverflow, m.nextActID, m.sp, m.prog.Layout.MemSize))
 	}
 	return f
+}
+
+// fail latches the first fire-path failure; the run loop surfaces it.
+func (m *machine) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
 }
 
 func (m *machine) freeFrame(a *activation) {
@@ -400,16 +447,55 @@ func (m *machine) emit(a *activation, n *pegasus.Node, out pegasus.Out, val int6
 		m.tracer.Emit(t)
 	}
 	for i, c := range cons {
-		if out == pegasus.OutToken {
-			st.occTok[i]++
-		} else {
-			st.occVal[i]++
+		dt := t
+		copies := 1
+		if m.inj != nil {
+			switch fa := m.inj.Deliver(m.now, a.gi.g.Name, n.ID, out == pegasus.OutToken, i); fa.Kind {
+			case faultsim.ActDrop:
+				copies = 0
+			case faultsim.ActDup:
+				copies = 2
+			case faultsim.ActDelay:
+				dt = t + fa.Delay
+			}
+			// Preserve the edge's FIFO order under injected delays: a
+			// later delivery may not overtake a delayed one.
+			next := st.edgeNext(out, len(cons))
+			if dt < next[i] {
+				dt = next[i]
+			}
+			next[i] = dt
+			if m.tracer != nil && dt > t {
+				m.tracer.Emit(dt)
+			}
 		}
-		m.push(&event{
-			time: t, kind: evDeliver, act: a, node: c.node, p: c.p, val: val,
-			prodAct: a, prodNode: n, prodOut: out, prodEdge: i, prodFire: fireSeq,
-		})
+		for k := 0; k < copies; k++ {
+			if out == pegasus.OutToken {
+				st.occTok[i]++
+			} else {
+				st.occVal[i]++
+			}
+			m.push(&event{
+				time: dt, kind: evDeliver, act: a, node: c.node, p: c.p, val: val,
+				prodAct: a, prodNode: n, prodOut: out, prodEdge: i, prodFire: fireSeq,
+			})
+		}
 	}
+}
+
+// edgeNext returns the per-consumer-edge minimum-next-delivery array for
+// one output class, allocating it on first use (fault injection only).
+func (st *nodeState) edgeNext(out pegasus.Out, n int) []int64 {
+	if out == pegasus.OutToken {
+		if st.nextTok == nil {
+			st.nextTok = make([]int64, n)
+		}
+		return st.nextTok
+	}
+	if st.nextVal == nil {
+		st.nextVal = make([]int64, n)
+	}
+	return st.nextVal
 }
 
 // capacityFree reports whether every output edge of (a,n) for `out` has a
@@ -430,9 +516,22 @@ func (m *machine) capacityFree(a *activation, n *pegasus.Node, out pegasus.Out) 
 
 func (m *machine) run() error {
 	for m.events.Len() > 0 {
+		if m.err != nil {
+			return m.err
+		}
+		if m.ctx != nil {
+			m.ctxTick++
+			if m.ctxTick >= 1024 {
+				m.ctxTick = 0
+				if err := m.ctx.Err(); err != nil {
+					return fmt.Errorf("%w at cycle %d: %v", ErrCanceled, m.now, err)
+				}
+			}
+		}
 		e := heap.Pop(&m.events).(*event)
 		if e.time > m.cfg.MaxCycles {
-			return fmt.Errorf("dataflow: exceeded %d cycles (livelock or runaway loop?)", m.cfg.MaxCycles)
+			m.now = e.time
+			return &LivelockError{MaxCycles: m.cfg.MaxCycles, Report: m.stuckReport("livelock")}
 		}
 		m.now = e.time
 		if e.act.done {
@@ -453,12 +552,15 @@ func (m *machine) run() error {
 		case evCheck:
 			m.tryFire(e.act, e.node)
 		}
+		if m.err != nil {
+			return m.err
+		}
 		if m.mainDone {
 			return nil
 		}
 	}
 	if !m.mainDone {
-		return fmt.Errorf("dataflow: deadlock at cycle %d (no events left)", m.now)
+		return &DeadlockError{Report: m.stuckReport("deadlock")}
 	}
 	return nil
 }

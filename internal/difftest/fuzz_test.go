@@ -1,0 +1,109 @@
+package difftest
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatial/internal/progen"
+)
+
+// FuzzDifferential is the differential fuzz target: each input seed
+// becomes a generated program that must produce the oracle checksum at
+// every optimization level, clean and under the injected-fault battery.
+// Run a short budget with:
+//
+//	go test -fuzz=FuzzDifferential -fuzztime=30s -run '^$' ./internal/difftest
+func FuzzDifferential(f *testing.F) {
+	for s := int64(1); s <= 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		cfg := progen.DefaultConfig(seed)
+		src := progen.Generate(cfg)
+		if err := Check(src, 0); err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+		}
+		if _, err := CheckFaults(src, seed, 0); err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+		}
+	})
+}
+
+// TestDifferentialSeeds is the deterministic slice of the fuzz target
+// that runs under plain `go test`: clean equivalence on a spread of
+// seeds, plus the full fault battery on a few.
+func TestDifferentialSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		src := progen.Generate(progen.DefaultConfig(seed))
+		if err := Check(src, 0); err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+		}
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		src := progen.Generate(progen.DefaultConfig(seed))
+		rep, err := CheckFaults(src, seed, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+		}
+		if rep.Absorbed == 0 {
+			t.Fatalf("seed %d: fault battery absorbed nothing: %v", seed, rep)
+		}
+	}
+}
+
+func TestShrinkMinimizes(t *testing.T) {
+	// A synthetic failure predicate: "fails" while Stmts >= 3 or
+	// MaxDepth >= 2. Shrink must land on the boundary, preserving the
+	// seed.
+	start := progen.Config{Arrays: 3, Scalars: 3, Stmts: 8, MaxDepth: 3, Seed: 42}
+	got := Shrink(start, func(c progen.Config) bool {
+		return c.Stmts >= 3 || c.MaxDepth >= 2
+	})
+	if got.Seed != 42 {
+		t.Fatalf("Shrink changed the seed: %+v", got)
+	}
+	// Minimal failing configs under this predicate keep exactly one of
+	// the two conditions alive at its floor.
+	if !(got.Stmts >= 3 || got.MaxDepth >= 2) {
+		t.Fatalf("Shrink returned a passing config: %+v", got)
+	}
+	if got.Stmts > 3 || got.Arrays != 1 || got.Scalars != 0 {
+		t.Fatalf("Shrink left slack: %+v", got)
+	}
+}
+
+func TestCrasherRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := Crasher{Config: progen.DefaultConfig(7), Seed: 7, Faults: true, Reason: "checksum mismatch at O3"}
+	srcPath, err := WriteCrasher(dir, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "int bench(void)") {
+		t.Fatalf("crasher source missing entry function:\n%s", src)
+	}
+	got, err := ReadCrasher(filepath.Join(dir, "crasher_seed7.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, c)
+	}
+	// The JSON is the replay contract: it must carry the full generator
+	// config so cashfuzz -replay regenerates the identical program.
+	raw, _ := os.ReadFile(filepath.Join(dir, "crasher_seed7.json"))
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["config"]; !ok {
+		t.Fatalf("crasher JSON missing config: %s", raw)
+	}
+}

@@ -1,0 +1,347 @@
+// Package faultsim injects deterministic faults into the dataflow
+// simulator: dropped, duplicated, or delayed deliveries on chosen edges,
+// nodes frozen for a span of cycles, and stretched or corrupted memory
+// responses. The Injector is consulted by internal/dataflow through
+// nil-guarded hooks (the same pattern as trace.Tracer), so an uninjected
+// run pays only a pointer comparison per hook site.
+//
+// Fault injection is the test bed for the robustness claims a self-timed
+// circuit makes: arbitrary *delays* (edge latency, frozen nodes,
+// stretched memory responses) must be absorbed — latency-insensitivity
+// is the defining property of the execution model — while *lost* tokens
+// must surface as a diagnosed deadlock, never as a silent wrong answer.
+// Every injection is deterministic: explicit Plan entries trigger on the
+// Nth matching event, and the optional jitter stream draws from a seeded
+// generator in simulator event order, so a (program, seed) pair always
+// perturbs the run identically.
+package faultsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"spatial/internal/memsys"
+)
+
+// Op enumerates fault kinds.
+type Op uint8
+
+// Fault operations.
+const (
+	// Drop discards one edge delivery: the consumer never sees the
+	// value/token (the producer's buffer slot is released, as if the wire
+	// glitched after the handshake).
+	Drop Op = iota
+	// Duplicate delivers one edge delivery twice.
+	Duplicate
+	// Delay postpones one edge delivery by Cycles (FIFO order on the
+	// edge is preserved; later deliveries queue behind the delayed one).
+	Delay
+	// Freeze blocks a node from firing for Cycles, starting at the
+	// matching fire attempt.
+	Freeze
+	// MemStretch lengthens one memory response by Cycles.
+	MemStretch
+	// MemFail marks one memory response as corrupted; the simulator
+	// detects it and aborts with a fault error.
+	MemFail
+)
+
+var opNames = [...]string{
+	Drop: "drop", Duplicate: "dup", Delay: "delay",
+	Freeze: "freeze", MemStretch: "mem-stretch", MemFail: "mem-fail",
+}
+
+// String names the operation.
+func (o Op) String() string { return opNames[o] }
+
+// Fault is one planned perturbation. Zero selector fields widen the
+// match: an empty Graph matches every graph, Node < 0 every node, and
+// Edge < 0 every consumer edge. Nth selects the 1-based occurrence among
+// matching events (0 means the first). Each Fault triggers exactly once.
+type Fault struct {
+	Op    Op
+	Graph string // producer graph name ("" = any)
+	Node  int    // producer node ID (edge ops), frozen node ID (Freeze); -1 = any
+	Edge  int    // consumer edge index; -1 = any
+	Token bool   // edge ops: match token deliveries rather than value deliveries
+	Nth   int    // 1-based occurrence of the matching event to hit (0 = first)
+	// Cycles is the magnitude of Delay, Freeze, and MemStretch faults.
+	Cycles int64
+}
+
+// String renders the fault for logs and reproducers.
+func (f Fault) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", f.Op)
+	if f.Graph != "" {
+		fmt.Fprintf(&b, " graph=%s", f.Graph)
+	}
+	if f.Node >= 0 {
+		fmt.Fprintf(&b, " node=n%d", f.Node)
+	}
+	if f.Edge >= 0 {
+		fmt.Fprintf(&b, " edge=%d", f.Edge)
+	}
+	switch f.Op {
+	case Drop, Duplicate, Delay:
+		if f.Token {
+			b.WriteString(" out=token")
+		} else {
+			b.WriteString(" out=value")
+		}
+	}
+	fmt.Fprintf(&b, " nth=%d", f.nth())
+	if f.Cycles > 0 {
+		fmt.Fprintf(&b, " cycles=%d", f.Cycles)
+	}
+	return b.String()
+}
+
+func (f Fault) nth() int {
+	if f.Nth <= 0 {
+		return 1
+	}
+	return f.Nth
+}
+
+func (f Fault) isEdgeOp() bool { return f.Op == Drop || f.Op == Duplicate || f.Op == Delay }
+func (f Fault) isMemOp() bool  { return f.Op == MemStretch || f.Op == MemFail }
+
+func (f Fault) matchEdge(graph string, node int, tok bool, edge int) bool {
+	if f.Graph != "" && f.Graph != graph {
+		return false
+	}
+	if f.Node >= 0 && f.Node != node {
+		return false
+	}
+	if f.Edge >= 0 && f.Edge != edge {
+		return false
+	}
+	return f.Token == tok
+}
+
+func (f Fault) matchNode(graph string, node int) bool {
+	if f.Graph != "" && f.Graph != graph {
+		return false
+	}
+	return f.Node < 0 || f.Node == node
+}
+
+// Plan is a set of faults to inject during one run.
+type Plan struct {
+	Faults []Fault
+}
+
+// String renders the plan one fault per line.
+func (p Plan) String() string {
+	if len(p.Faults) == 0 {
+		return "(no planned faults)"
+	}
+	lines := make([]string, len(p.Faults))
+	for i, f := range p.Faults {
+		lines[i] = f.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// ActionKind tells the simulator what to do with one delivery.
+type ActionKind uint8
+
+// Delivery actions.
+const (
+	ActDeliver ActionKind = iota // deliver normally
+	ActDrop                      // discard the delivery
+	ActDup                       // deliver twice
+	ActDelay                     // deliver after Delay extra cycles
+)
+
+// Action is the Injector's verdict on one edge delivery.
+type Action struct {
+	Kind  ActionKind
+	Delay int64
+}
+
+// Triggered records one fault that actually fired during a run.
+type Triggered struct {
+	Fault Fault
+	Cycle int64
+	Graph string
+	Node  int
+}
+
+// String renders the trigger record.
+func (t Triggered) String() string {
+	return fmt.Sprintf("cycle %d: %s at %s/n%d", t.Cycle, t.Fault.Op, t.Graph, t.Node)
+}
+
+type faultState struct {
+	f    Fault
+	seen int
+	done bool
+}
+
+// Injector decides, deterministically, which simulator events to
+// perturb. It is safe to share one Injector across the hooks of a single
+// run but not across runs: counters and the jitter stream are stateful.
+// A nil *Injector is valid everywhere and injects nothing.
+type Injector struct {
+	faults []faultState
+	frozen map[nodeKey]int64 // node → thaw cycle
+
+	// jitter: seeded probabilistic delays, all absorbable by a correct
+	// self-timed circuit.
+	rng        *rand.Rand
+	edgeRate   float64
+	edgeMax    int64
+	memRate    float64
+	memStretch int64
+
+	trig []Triggered
+}
+
+type nodeKey struct {
+	graph string
+	node  int
+}
+
+// New compiles a plan into an Injector.
+func New(p Plan) *Injector {
+	in := &Injector{frozen: map[nodeKey]int64{}}
+	for _, f := range p.Faults {
+		in.faults = append(in.faults, faultState{f: f})
+	}
+	return in
+}
+
+// NewJitter returns an Injector that injects no planned faults but
+// delays a seeded random fraction `rate` of edge deliveries by 1..maxDelay
+// cycles and stretches the same fraction of memory responses by
+// 1..4*maxDelay cycles. All jitter is delay-only, so a correct circuit
+// must absorb it: same result, different schedule.
+func NewJitter(seed int64, rate float64, maxDelay int64) *Injector {
+	in := New(Plan{})
+	in.rng = rand.New(rand.NewSource(seed))
+	in.edgeRate = rate
+	in.edgeMax = maxDelay
+	in.memRate = rate
+	in.memStretch = 4 * maxDelay
+	return in
+}
+
+// Deliver is consulted once per consumer-edge delivery of the producing
+// node's output (tok selects the token output) and returns the action to
+// apply. Nil-safe.
+func (in *Injector) Deliver(now int64, graph string, node int, tok bool, edge int) Action {
+	if in == nil {
+		return Action{}
+	}
+	act := Action{}
+	for i := range in.faults {
+		fs := &in.faults[i]
+		if fs.done || !fs.f.isEdgeOp() || !fs.f.matchEdge(graph, node, tok, edge) {
+			continue
+		}
+		fs.seen++
+		if fs.seen != fs.f.nth() {
+			continue
+		}
+		fs.done = true
+		in.trig = append(in.trig, Triggered{Fault: fs.f, Cycle: now, Graph: graph, Node: node})
+		if act.Kind != ActDeliver {
+			continue // an earlier fault already claimed this delivery
+		}
+		switch fs.f.Op {
+		case Drop:
+			act = Action{Kind: ActDrop}
+		case Duplicate:
+			act = Action{Kind: ActDup}
+		case Delay:
+			act = Action{Kind: ActDelay, Delay: max64(1, fs.f.Cycles)}
+		}
+	}
+	if act.Kind == ActDeliver && in.rng != nil && in.edgeRate > 0 && in.rng.Float64() < in.edgeRate {
+		act = Action{Kind: ActDelay, Delay: 1 + in.rng.Int63n(max64(1, in.edgeMax))}
+	}
+	return act
+}
+
+// FrozenUntil is consulted on every fire attempt of a node and returns
+// the cycle until which the node is frozen (0 when it may fire). A
+// Freeze fault triggers on its Nth matching fire attempt. Nil-safe.
+func (in *Injector) FrozenUntil(now int64, graph string, node int) int64 {
+	if in == nil {
+		return 0
+	}
+	k := nodeKey{graph, node}
+	if until, ok := in.frozen[k]; ok {
+		if until > now {
+			return until
+		}
+		delete(in.frozen, k)
+	}
+	for i := range in.faults {
+		fs := &in.faults[i]
+		if fs.done || fs.f.Op != Freeze || !fs.f.matchNode(graph, node) {
+			continue
+		}
+		fs.seen++
+		if fs.seen != fs.f.nth() {
+			continue
+		}
+		fs.done = true
+		until := now + max64(1, fs.f.Cycles)
+		in.frozen[k] = until
+		in.trig = append(in.trig, Triggered{Fault: fs.f, Cycle: now, Graph: graph, Node: node})
+		return until
+	}
+	return 0
+}
+
+// PerturbMem implements memsys.Perturber: planned MemStretch/MemFail
+// faults trigger on their Nth memory response, and jitter stretches a
+// seeded fraction of responses. Nil-safe.
+func (in *Injector) PerturbMem(e memsys.Event) (done int64, fail bool) {
+	done = e.Done
+	if in == nil {
+		return done, false
+	}
+	for i := range in.faults {
+		fs := &in.faults[i]
+		if fs.done || !fs.f.isMemOp() {
+			continue
+		}
+		fs.seen++
+		if fs.seen != fs.f.nth() {
+			continue
+		}
+		fs.done = true
+		in.trig = append(in.trig, Triggered{Fault: fs.f, Cycle: e.Issue, Graph: "<mem>", Node: -1})
+		switch fs.f.Op {
+		case MemStretch:
+			done += max64(1, fs.f.Cycles)
+		case MemFail:
+			fail = true
+		}
+	}
+	if in.rng != nil && in.memRate > 0 && in.rng.Float64() < in.memRate {
+		done += 1 + in.rng.Int63n(max64(1, in.memStretch))
+	}
+	return done, fail
+}
+
+// Triggered returns the faults that actually fired, in trigger order.
+func (in *Injector) Triggered() []Triggered {
+	if in == nil {
+		return nil
+	}
+	return in.trig
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

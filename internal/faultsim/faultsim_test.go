@@ -1,0 +1,175 @@
+package faultsim
+
+import (
+	"testing"
+
+	"spatial/internal/memsys"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if a := in.Deliver(1, "f", 2, false, 0); a.Kind != ActDeliver {
+		t.Fatalf("nil Deliver = %v", a)
+	}
+	if u := in.FrozenUntil(1, "f", 2); u != 0 {
+		t.Fatalf("nil FrozenUntil = %d", u)
+	}
+	if done, fail := in.PerturbMem(memsys.Event{Done: 9}); done != 9 || fail {
+		t.Fatalf("nil PerturbMem = %d, %v", done, fail)
+	}
+	if tr := in.Triggered(); tr != nil {
+		t.Fatalf("nil Triggered = %v", tr)
+	}
+}
+
+func TestPlanMatchingNthOccurrence(t *testing.T) {
+	in := New(Plan{Faults: []Fault{
+		{Op: Drop, Graph: "f", Node: 3, Edge: 1, Nth: 2},
+	}})
+	// Wrong graph, node, edge, and token-ness never count as occurrences.
+	for _, probe := range []struct {
+		graph string
+		node  int
+		tok   bool
+		edge  int
+	}{
+		{"g", 3, false, 1}, // wrong graph
+		{"f", 4, false, 1}, // wrong node
+		{"f", 3, false, 0}, // wrong edge
+		{"f", 3, true, 1},  // token, fault wants value
+	} {
+		if a := in.Deliver(0, probe.graph, probe.node, probe.tok, probe.edge); a.Kind != ActDeliver {
+			t.Fatalf("non-matching delivery %+v perturbed: %v", probe, a)
+		}
+	}
+	// First matching occurrence passes through, second is dropped, third
+	// passes (the fault has fired).
+	if a := in.Deliver(5, "f", 3, false, 1); a.Kind != ActDeliver {
+		t.Fatalf("occurrence 1 should deliver, got %v", a)
+	}
+	if a := in.Deliver(6, "f", 3, false, 1); a.Kind != ActDrop {
+		t.Fatalf("occurrence 2 should drop, got %v", a)
+	}
+	if a := in.Deliver(7, "f", 3, false, 1); a.Kind != ActDeliver {
+		t.Fatalf("occurrence 3 should deliver, got %v", a)
+	}
+	tr := in.Triggered()
+	if len(tr) != 1 || tr[0].Cycle != 6 || tr[0].Node != 3 {
+		t.Fatalf("trigger log = %v", tr)
+	}
+}
+
+func TestWildcardsMatchEverything(t *testing.T) {
+	in := New(Plan{Faults: []Fault{
+		{Op: Delay, Node: -1, Edge: -1, Cycles: 7},
+	}})
+	if a := in.Deliver(0, "anything", 99, false, 5); a.Kind != ActDelay || a.Delay != 7 {
+		t.Fatalf("wildcard delay = %v", a)
+	}
+}
+
+func TestFreezeOnNthAttempt(t *testing.T) {
+	in := New(Plan{Faults: []Fault{
+		{Op: Freeze, Graph: "f", Node: 8, Edge: -1, Nth: 2, Cycles: 10},
+	}})
+	if u := in.FrozenUntil(100, "f", 8); u != 0 {
+		t.Fatalf("attempt 1 frozen until %d", u)
+	}
+	if u := in.FrozenUntil(101, "f", 8); u != 111 {
+		t.Fatalf("attempt 2: want thaw at 111, got %d", u)
+	}
+	// Still frozen mid-span, thawed after.
+	if u := in.FrozenUntil(105, "f", 8); u != 111 {
+		t.Fatalf("mid-span: want 111, got %d", u)
+	}
+	if u := in.FrozenUntil(111, "f", 8); u != 0 {
+		t.Fatalf("after thaw: want 0, got %d", u)
+	}
+}
+
+func TestPerturbMemStretchAndFail(t *testing.T) {
+	in := New(Plan{Faults: []Fault{
+		{Op: MemStretch, Node: -1, Edge: -1, Nth: 1, Cycles: 20},
+		{Op: MemFail, Node: -1, Edge: -1, Nth: 2},
+	}})
+	done, fail := in.PerturbMem(memsys.Event{Issue: 1, Done: 5})
+	if done != 25 || fail {
+		t.Fatalf("response 1: want (25,false), got (%d,%v)", done, fail)
+	}
+	done, fail = in.PerturbMem(memsys.Event{Issue: 2, Done: 6})
+	if done != 6 || !fail {
+		t.Fatalf("response 2: want (6,true), got (%d,%v)", done, fail)
+	}
+	if len(in.Triggered()) != 2 {
+		t.Fatalf("trigger log = %v", in.Triggered())
+	}
+}
+
+// TestJitterDeterminism: identical seeds must perturb an identical call
+// sequence identically — the reproducibility contract of the fuzzer.
+func TestJitterDeterminism(t *testing.T) {
+	replay := func(seed int64) []Action {
+		in := NewJitter(seed, 0.5, 8)
+		var out []Action
+		for i := 0; i < 200; i++ {
+			out = append(out, in.Deliver(int64(i), "f", i%7, i%3 == 0, i%2))
+		}
+		return out
+	}
+	a, b := replay(42), replay(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := replay(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter — rng not wired")
+	}
+}
+
+func TestJitterIsDelayOnly(t *testing.T) {
+	in := NewJitter(7, 1.0, 4) // rate 1: every delivery perturbed
+	for i := 0; i < 50; i++ {
+		a := in.Deliver(int64(i), "f", 0, false, 0)
+		if a.Kind != ActDelay || a.Delay < 1 || a.Delay > 4 {
+			t.Fatalf("jitter produced %v; want delay in [1,4]", a)
+		}
+	}
+	done, fail := in.PerturbMem(memsys.Event{Done: 3})
+	if fail || done < 4 {
+		t.Fatalf("memory jitter = (%d,%v); want stretched, never failed", done, fail)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Plan{Faults: []Fault{
+		{Op: Drop, Graph: "f", Node: 3, Edge: 1, Nth: 2},
+		{Op: Freeze, Node: -1, Edge: -1, Cycles: 9},
+	}}
+	s := p.String()
+	for _, want := range []string{"drop", "graph=f", "node=n3", "nth=2", "freeze", "cycles=9"} {
+		if !contains(s, want) {
+			t.Fatalf("plan rendering missing %q:\n%s", want, s)
+		}
+	}
+	if (Plan{}).String() != "(no planned faults)" {
+		t.Fatalf("empty plan rendering = %q", (Plan{}).String())
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -112,6 +112,58 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validate rejects nonsensical configurations with actionable messages.
+// Zero fields mean "use the default" and are accepted (the entirely-zero
+// Config is every default); negative values and impossible geometries
+// are errors. Normalized configurations always validate.
+func (c Config) Validate() error {
+	if c == (Config{}) {
+		return nil // all defaults
+	}
+	if c.Kind != Perfect && c.Kind != Realistic {
+		return fmt.Errorf("memsys: unknown Kind %d; use memsys.Perfect or memsys.Realistic", c.Kind)
+	}
+	if c.Ports < 0 {
+		return fmt.Errorf("memsys: Ports %d is negative; an LSQ needs at least one port (0 selects the default, 2)", c.Ports)
+	}
+	if c.QueueSize < 0 {
+		return fmt.Errorf("memsys: QueueSize %d is negative; the LSQ needs at least one entry (0 selects the default, 16)", c.QueueSize)
+	}
+	if c.Ports > 0 && c.QueueSize > 0 && c.QueueSize < c.Ports {
+		return fmt.Errorf("memsys: QueueSize %d is smaller than Ports %d; every port needs an LSQ entry to issue into", c.QueueSize, c.Ports)
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"PerfectLatency", c.PerfectLatency},
+		{"L1Latency", c.L1Latency},
+		{"L2Latency", c.L2Latency},
+		{"MemLatency", c.MemLatency},
+		{"WordGap", c.WordGap},
+		{"TLBMissCost", c.TLBMissCost},
+		{"L1Bytes", int64(c.L1Bytes)},
+		{"L2Bytes", int64(c.L2Bytes)},
+		{"LineBytes", int64(c.LineBytes)},
+		{"TLBPages", int64(c.TLBPages)},
+		{"PageBytes", int64(c.PageBytes)},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("memsys: %s %d is negative; use 0 for the default or a positive value", f.name, f.v)
+		}
+	}
+	if c.LineBytes > 0 && (c.LineBytes&(c.LineBytes-1) != 0 || c.LineBytes < 4) {
+		return fmt.Errorf("memsys: LineBytes %d must be a power of two ≥ 4", c.LineBytes)
+	}
+	if c.PageBytes > 0 && c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("memsys: PageBytes %d must be a power of two", c.PageBytes)
+	}
+	if c.L1Bytes > 0 && c.LineBytes > 0 && c.L1Bytes < c.LineBytes {
+		return fmt.Errorf("memsys: L1Bytes %d is smaller than one line (%d bytes)", c.L1Bytes, c.LineBytes)
+	}
+	return nil
+}
+
 // String names the configuration for reports.
 func (c Config) String() string {
 	if c.Kind == Perfect {
@@ -165,6 +217,16 @@ type Observer interface {
 	MemEvent(Event)
 }
 
+// Perturber adjusts individual memory responses before they are
+// returned — the fault-injection hook. It sees the fully-timed Event and
+// returns the completion cycle to use instead (never earlier than
+// e.Issue) plus a fail flag marking the response as corrupted; a failed
+// response is latched in the System and surfaced via TakeFault.
+// Implementations must not call back into the System.
+type Perturber interface {
+	PerturbMem(e Event) (done int64, fail bool)
+}
+
 // Stats accumulates memory-system statistics.
 type Stats struct {
 	Loads     int64
@@ -197,10 +259,25 @@ type System struct {
 
 	// obs, when non-nil, receives one Event per request.
 	obs Observer
+	// perturb, when non-nil, may stretch or fail each response.
+	perturb Perturber
+	// faulted marks that a perturbed response was flagged as corrupted.
+	faulted bool
 }
 
 // SetObserver installs (or clears, with nil) the event observer.
 func (s *System) SetObserver(o Observer) { s.obs = o }
+
+// SetPerturber installs (or clears, with nil) the response perturber.
+func (s *System) SetPerturber(p Perturber) { s.perturb = p }
+
+// TakeFault reports whether a perturbed response was marked corrupted
+// since the last call, clearing the flag.
+func (s *System) TakeFault() bool {
+	f := s.faulted
+	s.faulted = false
+	return f
+}
 
 // New creates a memory system.
 func New(cfg Config) *System {
@@ -261,14 +338,25 @@ func (s *System) Submit(t int64, isLoad bool, addr uint32, bytes int) int64 {
 		lat, level, tlbMiss = s.accessLatency(t, addr, bytes)
 		done = t + lat
 	}
+	ev := Event{
+		Start: start, Issue: t, Done: done,
+		Load: isLoad, Addr: addr, Bytes: bytes,
+		Port: port, Queue: queueAtSubmit, Level: level, TLB: tlbMiss,
+	}
+	if s.perturb != nil {
+		nd, fail := s.perturb.PerturbMem(ev)
+		if nd > done {
+			done = nd
+			ev.Done = nd
+		}
+		if fail {
+			s.faulted = true
+		}
+	}
 	s.outstanding = append(s.outstanding, done)
 	s.gcIssueTimes(t)
 	if s.obs != nil {
-		s.obs.MemEvent(Event{
-			Start: start, Issue: t, Done: done,
-			Load: isLoad, Addr: addr, Bytes: bytes,
-			Port: port, Queue: queueAtSubmit, Level: level, TLB: tlbMiss,
-		})
+		s.obs.MemEvent(ev)
 	}
 	return done
 }

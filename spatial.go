@@ -20,6 +20,8 @@
 package spatial
 
 import (
+	"time"
+
 	"spatial/internal/core"
 	"spatial/internal/hw"
 	"spatial/internal/memsys"
@@ -69,6 +71,71 @@ type Trace = core.Trace
 // graph, with cycles attributed per node kind and per token edge.
 type CritPath = core.CritPath
 
+// Error classes: every failure returned by Compile and the Run* methods
+// matches exactly one of these under errors.Is, and no call panics — the
+// facade recovers internal panics into ErrInternal-classed errors.
+var (
+	// ErrCompile classifies rejected source programs and invalid options.
+	ErrCompile = core.ErrCompile
+	// ErrSim classifies run-time failures: deadlock, livelock, detected
+	// faults, cancellation, resource limits.
+	ErrSim = core.ErrSim
+	// ErrInternal classifies recovered panics and violated invariants —
+	// bugs in this library, never the caller's fault.
+	ErrInternal = core.ErrInternal
+)
+
+// DeadlockError is a diagnosed deadlock: the run stopped with tokens
+// still owed, and Report names the blocked nodes and the wait cycle.
+// Retrieve it with errors.As.
+type DeadlockError = core.DeadlockError
+
+// LivelockError is a run that exceeded its cycle budget without
+// terminating; Report diagnoses what was still in flight.
+type LivelockError = core.LivelockError
+
+// StuckReport is the wait-for-graph diagnosis inside DeadlockError and
+// LivelockError: blocked nodes, what each waits for, and the strongly
+// connected component forming the cycle.
+type StuckReport = core.StuckReport
+
+// PanicError is a panic recovered at the facade, carried by an
+// ErrInternal-classed error.
+type PanicError = core.PanicError
+
+// Fault is one planned perturbation of a run (drop/duplicate/delay a
+// delivery, freeze a node, stretch or fail a memory response).
+type Fault = core.Fault
+
+// FaultPlan is a set of faults to inject during one run.
+type FaultPlan = core.FaultPlan
+
+// FaultInjector deterministically perturbs a run (see
+// Compiled.RunFaulted).
+type FaultInjector = core.FaultInjector
+
+// FaultOp enumerates fault kinds.
+type FaultOp = core.FaultOp
+
+// Fault operations.
+const (
+	FaultDrop       = core.FaultDrop
+	FaultDuplicate  = core.FaultDuplicate
+	FaultDelay      = core.FaultDelay
+	FaultFreeze     = core.FaultFreeze
+	FaultMemStretch = core.FaultMemStretch
+	FaultMemFail    = core.FaultMemFail
+)
+
+// NewInjector compiles a fault plan into an injector for RunFaulted.
+func NewInjector(p FaultPlan) *FaultInjector { return core.NewInjector(p) }
+
+// NewJitterInjector returns an injector of seeded random delays that a
+// correct self-timed circuit must absorb without changing its result.
+func NewJitterInjector(seed int64, rate float64, maxDelay int64) *FaultInjector {
+	return core.NewJitterInjector(seed, rate, maxDelay)
+}
+
 // Optimization levels re-exported for convenience.
 const (
 	OptNone   = opt.None
@@ -91,6 +158,10 @@ func WithSim(s SimConfig) Option { return core.WithSim(s) }
 
 // WithTrace sets the trace-collection configuration RunTraced uses.
 func WithTrace(tc TraceConfig) Option { return core.WithTrace(tc) }
+
+// WithDeadline bounds every Run of the compiled program by a wall-clock
+// duration; a run past it aborts with an ErrSim-classed error.
+func WithDeadline(d time.Duration) Option { return core.WithDeadline(d) }
 
 // LevelPasses returns the pass toggles a preset enables, as a starting
 // point for WithPasses overrides.

@@ -1,7 +1,9 @@
 package spatial_test
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -110,6 +112,63 @@ func TestPublicAPILevels(t *testing.T) {
 		if res.Value != 42 {
 			t.Errorf("%s: f(41) = %d, want 42", name, res.Value)
 		}
+	}
+}
+
+// TestPublicAPIRobustness exercises the hardened surface: typed error
+// classes, fault injection, and diagnosed deadlocks — all from the root
+// package, the way an embedding application would use them.
+func TestPublicAPIRobustness(t *testing.T) {
+	if _, err := spatial.Compile(`int f( {`, spatial.Options{}); !errors.Is(err, spatial.ErrCompile) {
+		t.Fatalf("syntax error not classed spatial.ErrCompile: %v", err)
+	}
+
+	cp, err := spatial.Compile(`
+int a[16];
+int f(void) {
+  int i; int s = 0;
+  for (i = 0; i < 16; i++) a[i] = i;
+  for (i = 0; i < 16; i++) s += a[i];
+  return s;
+}`, spatial.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Jitter must be absorbed: identical value under injected delays.
+	clean, err := cp.Run("f", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cp.RunFaulted(context.Background(), "f", nil, spatial.NewJitterInjector(7, 0.3, 5))
+	if err != nil || res.Value != clean.Value {
+		t.Fatalf("jitter not absorbed: %v, %v (want %d)", res, err, clean.Value)
+	}
+
+	// A dropped memory-dependence token must end in a diagnosed stall.
+	inj := spatial.NewInjector(spatial.FaultPlan{Faults: []spatial.Fault{
+		{Op: spatial.FaultDrop, Node: -1, Edge: -1, Token: true, Nth: 1},
+	}})
+	_, err = cp.RunFaulted(context.Background(), "f", nil, inj)
+	if err == nil {
+		t.Fatal("dropped token absorbed silently")
+	}
+	if !errors.Is(err, spatial.ErrSim) {
+		t.Fatalf("fault not classed spatial.ErrSim: %v", err)
+	}
+	var de *spatial.DeadlockError
+	var le *spatial.LivelockError
+	switch {
+	case errors.As(err, &de):
+		if de.Report == nil || len(de.Report.Blocked) == 0 || de.Report.Render() == "" {
+			t.Fatalf("deadlock without a usable report: %v", err)
+		}
+	case errors.As(err, &le):
+		if le.Report == nil {
+			t.Fatalf("livelock without a report: %v", err)
+		}
+	default:
+		t.Fatalf("want a typed deadlock/livelock, got %v", err)
 	}
 }
 
