@@ -5,13 +5,18 @@
 // Usage:
 //
 //	experiments [-exp table1|table2|fig18|fig19|ablation|spatial|section2|all]
-//	            [-bench name] [-quick]
+//	            [-bench name[,name...]] [-quick]
+//	experiments -exp bench [-bench name[,name...]] [-benchtime 200ms]
+//	            [-benchout BENCH.json] [-allocbudget 0.01]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"spatial/internal/core"
 	"spatial/internal/harness"
@@ -21,18 +26,37 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig18, fig19, ablation, spatial, irsize, area, section2, all")
-	bench := flag.String("bench", "", "restrict to one benchmark")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig18, fig19, ablation, spatial, irsize, area, section2, bench, all")
+	bench := flag.String("bench", "", "restrict to a comma-separated benchmark list")
 	quick := flag.Bool("quick", false, "use a reduced sweep for fig19")
+	benchTime := flag.Duration("benchtime", 200*time.Millisecond, "minimum timed duration per (workload, level) for -exp bench")
+	benchOut := flag.String("benchout", "", "write the -exp bench report as JSON to this file")
+	allocBudget := flag.Float64("allocbudget", -1, "fail -exp bench if any allocs/event exceeds this (negative disables)")
 	flag.Parse()
 
 	ws := workloads.All()
+	var benchNames []string
 	if *bench != "" {
-		w := workloads.ByName(*bench)
-		if w == nil {
-			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		for _, name := range strings.Split(*bench, ",") {
+			if workloads.ByName(name) == nil {
+				fatal(fmt.Errorf("unknown benchmark %q", name))
+			}
+			benchNames = append(benchNames, name)
 		}
-		ws = []*workloads.Workload{w}
+		ws = nil
+		for _, name := range benchNames {
+			ws = append(ws, workloads.ByName(name))
+		}
+	}
+
+	// The throughput baseline is explicitly requested, never part of
+	// "all": it is a perf measurement, not a paper table, and it wants a
+	// quiet machine.
+	if *exp == "bench" {
+		if err := runBench(benchNames, *benchTime, *benchOut, *allocBudget); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	run := func(name string, f func() error) {
@@ -145,6 +169,40 @@ void f(unsigned *p, unsigned a[], int i) {
 			label = "CASH (removes two stores and one load)"
 		}
 		fmt.Printf("  %-48s loads=%d stores=%d\n", label, loads, stores)
+	}
+	return nil
+}
+
+// runBench measures simulator throughput over the baseline workload set
+// at every optimization level, prints the table plus benchstat-comparable
+// lines, optionally writes BENCH.json, and enforces the allocs/event
+// budget (the CI smoke gate).
+func runBench(names []string, benchTime time.Duration, out string, allocBudget float64) error {
+	if len(names) == 0 {
+		names = harness.BenchSet
+	}
+	rep, err := harness.Bench(names, benchTime)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	fmt.Print(harness.FormatBench(rep))
+	fmt.Println()
+	fmt.Print(rep.Benchstat())
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", out)
+	}
+	if allocBudget >= 0 {
+		if worst := rep.MaxAllocsPerEvent(); worst > allocBudget {
+			return fmt.Errorf("bench: allocs/event %.4f exceeds budget %.4f", worst, allocBudget)
+		}
+		fmt.Printf("allocs/event within budget %.4f (worst %.4f)\n", allocBudget, rep.MaxAllocsPerEvent())
 	}
 	return nil
 }

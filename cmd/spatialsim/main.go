@@ -143,6 +143,7 @@ func main() {
 	}
 	fmt.Printf("result:    %d\n", res.Value)
 	fmt.Printf("cycles:    %d\n", res.Stats.Cycles)
+	fmt.Printf("events:    %d\n", res.Stats.Events)
 	fmt.Printf("ops fired: %d\n", res.Stats.OpsFired)
 	fmt.Printf("loads:     %d (+%d squashed)\n", res.Stats.DynLoads, res.Stats.NullMem)
 	fmt.Printf("stores:    %d\n", res.Stats.DynStores)

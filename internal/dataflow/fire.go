@@ -45,19 +45,19 @@ func (m *machine) fireOnce(a *activation, n *pegasus.Node) bool {
 	if m.inj != nil {
 		if thaw := m.inj.FrozenUntil(m.now, a.gi.g.Name, n.ID); thaw > m.now {
 			// Frozen: recheck when the freeze expires.
-			m.push(&event{time: thaw, kind: evCheck, act: a, node: n})
+			m.pushCheck(thaw, a, n)
 			return false
 		}
 	}
 	if a.gi.dynIns[n.ID] == 0 && n.Kind != pegasus.KEntryTok {
 		// No wave signal: fire exactly once per activation.
-		st := m.state(a, n)
-		if st.firedOnce {
+		ns := &a.st.nodes[n.ID]
+		if ns.firedOnce {
 			return false
 		}
 		fired := m.dispatchTraced(a, n)
 		if fired {
-			st.firedOnce = true
+			ns.firedOnce = true
 		}
 		return fired
 	}
@@ -150,21 +150,24 @@ func (m *machine) allInputsReady(a *activation, n *pegasus.Node) bool {
 	return ready
 }
 
-// consumeAll consumes every input, returning values per port class.
+// consumeAll consumes every input, returning values per port class. The
+// returned slices are machine-owned scratch, valid until the next
+// dispatch (dispatches never nest: a consume only schedules recheck
+// events, it does not fire nodes inline).
 func (m *machine) consumeAll(a *activation, n *pegasus.Node) (ins, preds, toks []int64) {
-	ins = make([]int64, len(n.Ins))
-	preds = make([]int64, len(n.Preds))
-	toks = make([]int64, len(n.Toks))
+	m.insBuf = m.insBuf[:0]
+	m.predsBuf = m.predsBuf[:0]
+	m.toksBuf = m.toksBuf[:0]
 	for i, r := range n.Ins {
-		ins[i] = m.inputValue(a, n, pegasus.PortIn, i, r)
+		m.insBuf = append(m.insBuf, m.inputValue(a, n, pegasus.PortIn, i, r))
 	}
 	for i, r := range n.Preds {
-		preds[i] = m.inputValue(a, n, pegasus.PortPred, i, r)
+		m.predsBuf = append(m.predsBuf, m.inputValue(a, n, pegasus.PortPred, i, r))
 	}
 	for i, r := range n.Toks {
-		toks[i] = m.inputValue(a, n, pegasus.PortTok, i, r)
+		m.toksBuf = append(m.toksBuf, m.inputValue(a, n, pegasus.PortTok, i, r))
 	}
-	return
+	return m.insBuf, m.predsBuf, m.toksBuf
 }
 
 // fireSimple handles pure computational nodes (binop, unop, conv, mux,
@@ -324,11 +327,11 @@ func (m *machine) fireEta(a *activation, n *pegasus.Node) bool {
 // increment the credit counter; a true predicate emits a token when
 // credit is available; a false predicate (loop exit) resets the counter.
 func (m *machine) fireTokenGen(a *activation, n *pegasus.Node) bool {
-	st := m.state(a, n)
+	ns := &a.st.nodes[n.ID]
 	// Absorb token inputs eagerly.
 	if m.has(a, n, port{pegasus.PortTok, 0}) {
 		m.consume(a, n, port{pegasus.PortTok, 0})
-		st.counter++
+		ns.counter++
 		m.stats.OpsFired++
 		m.profile.record(n)
 		return true
@@ -343,14 +346,14 @@ func (m *machine) fireTokenGen(a *activation, n *pegasus.Node) bool {
 		predVal = m.peek(a, n, port{pegasus.PortPred, 0})
 	}
 	if predVal != 0 {
-		if st.counter <= 0 {
+		if ns.counter <= 0 {
 			return m.stallTok(n) // wait for credit from the trailing loop
 		}
 		if !m.capacityFree(a, n, pegasus.OutToken) {
 			return m.stallBack(n)
 		}
 		m.inputValue(a, n, pegasus.PortPred, 0, n.Preds[0])
-		st.counter--
+		ns.counter--
 		m.stats.OpsFired++
 		m.profile.record(n)
 		m.emit(a, n, pegasus.OutToken, 1, m.now+opLatency(n))
@@ -358,7 +361,7 @@ func (m *machine) fireTokenGen(a *activation, n *pegasus.Node) bool {
 	}
 	// Loop finished: reset the credit counter.
 	m.inputValue(a, n, pegasus.PortPred, 0, n.Preds[0])
-	st.counter = n.TokN
+	ns.counter = int32(n.TokN)
 	m.stats.OpsFired++
 	m.profile.record(n)
 	return true
@@ -463,8 +466,7 @@ func (m *machine) fireReturn(a *activation, n *pegasus.Node) bool {
 	if len(ins) > 0 {
 		val = ins[0]
 	}
-	a.done = true
-	m.freeFrame(a)
+	m.complete(a)
 	if a.retTo == nil {
 		m.mainVal = val
 		m.mainDone = true

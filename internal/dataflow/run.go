@@ -17,6 +17,9 @@ type runOpts struct {
 	tr   *trace.Tracer
 	ctx  context.Context
 	inj  *faultsim.Injector
+	// evHook observes every processed event (time, seq, activation id,
+	// node); used by tests to assert deterministic replay.
+	evHook func(time, seq int64, act int, node *pegasus.Node)
 }
 
 // runMachine is the single internal runner behind every Run* variant: it
@@ -44,11 +47,11 @@ func runMachine(p *pegasus.Program, entry string, args []int64, cfg Config, o ru
 		infos:      map[string]*graphInfo{},
 		sp:         p.Layout.StackBase,
 		freeFrames: map[uint32][]uint32{},
-		producers:  map[prodKey][]prodRef{},
 		profile:    o.prof,
 		tracer:     o.tr,
 		inj:        o.inj,
 		ctx:        o.ctx,
+		evHook:     o.evHook,
 	}
 	if o.tr != nil {
 		m.msys.SetObserver(o.tr)

@@ -6,12 +6,19 @@
 // modeled cache hierarchy, and procedure calls instantiate the callee's
 // graph. This is the "coarse hardware simulator" of the paper's
 // Section 7.3.
+//
+// The engine's data layout is designed for allocation-free steady-state
+// execution (see DESIGN.md "Simulator internals"): per-node input latches
+// are dense slices indexed by port offsets precomputed in graphInfo, the
+// event queue is a typed 4-ary heap over slab indices (events recycled,
+// never garbage), and per-activation state is one flat allocation pooled
+// across activations of the same function.
 package dataflow
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
+	"sync"
 
 	"spatial/internal/cminor"
 	"spatial/internal/faultsim"
@@ -81,6 +88,7 @@ func (c Config) Normalized() Config { return c.withDefaults() }
 type Stats struct {
 	Cycles    int64
 	OpsFired  int64
+	Events    int64 // simulator events processed (deliveries + checks)
 	DynLoads  int64 // loads executed with a true predicate
 	DynStores int64 // stores executed with a true predicate
 	NullMem   int64 // memory ops squashed by a false predicate
@@ -100,17 +108,24 @@ type port struct {
 	idx int
 }
 
-// consumerEdge is one (producer output → consumer port) edge.
+// consumerEdge is one (producer output → consumer port) edge. dstPort is
+// the consumer slot's flat port index, precomputed so delivery does no
+// lookups.
 type consumerEdge struct {
-	node *pegasus.Node
-	p    port
-	out  pegasus.Out
+	node    *pegasus.Node
+	p       port
+	dstPort int32
 }
 
-// graphInfo caches per-graph structures shared by all activations.
+// graphInfo caches per-graph structures shared by all activations: the
+// static/dynamic node classification, consumer edge lists, and the flat
+// index layout (port offsets, edge-occupancy offsets) that lets one
+// activation's entire dynamic state live in a handful of dense slices.
 type graphInfo struct {
 	g *pegasus.Graph
-	// consumers[out][nodeID] lists the edges fed by that node's output.
+	// nodeByID maps node IDs back to nodes (dense; nil for compacted IDs).
+	nodeByID []*pegasus.Node
+	// consumers[nodeID] lists the edges fed by that node's output.
 	valConsumers [][]consumerEdge
 	tokConsumers [][]consumerEdge
 	// static[nodeID] marks nodes whose value is fixed for a whole
@@ -123,14 +138,51 @@ type graphInfo struct {
 	// activation (the builder guarantees such nodes only occur in the
 	// entry hyperblock, which executes once).
 	dynIns []int
+	// inOff/predOff/tokOff[nodeID] are the flat port-index bases of the
+	// node's input classes; portIndex composes them with the slot index.
+	inOff   []int32
+	predOff []int32
+	tokOff  []int32
+	// valEdgeOff/tokEdgeOff[nodeID] are the flat occupancy-index bases of
+	// the node's output edges (one counter per consumer edge).
+	valEdgeOff []int32
+	tokEdgeOff []int32
+	// tokGens lists token-generator node IDs whose credit counters need
+	// (re)initializing to TokN when an activation's state is prepared.
+	tokGens  []int32
+	numPorts int
+	numVal   int // total value-consumer edges
+	numTok   int // total token-consumer edges
+	// pool recycles actState across activations of this graph, so calls
+	// in steady state allocate nothing.
+	pool sync.Pool
+}
+
+// portIndex returns the flat index of one input slot. Only dynamic nodes
+// have ports; static and dead nodes are never delivered to.
+func (gi *graphInfo) portIndex(n *pegasus.Node, cls pegasus.Port, idx int) int32 {
+	switch cls {
+	case pegasus.PortIn:
+		return gi.inOff[n.ID] + int32(idx)
+	case pegasus.PortPred:
+		return gi.predOff[n.ID] + int32(idx)
+	default:
+		return gi.tokOff[n.ID] + int32(idx)
+	}
 }
 
 func buildGraphInfo(g *pegasus.Graph) *graphInfo {
 	gi := &graphInfo{
 		g:            g,
+		nodeByID:     make([]*pegasus.Node, g.MaxID()),
 		valConsumers: make([][]consumerEdge, g.MaxID()),
 		tokConsumers: make([][]consumerEdge, g.MaxID()),
 		static:       make([]bool, g.MaxID()),
+	}
+	for _, n := range g.Nodes {
+		if !n.Dead {
+			gi.nodeByID[n.ID] = n
+		}
 	}
 	// Static closure over pure ops (node inputs always precede uses in
 	// the forward DAG; iterate to a fixpoint to be order-independent).
@@ -158,7 +210,28 @@ func buildGraphInfo(g *pegasus.Graph) *graphInfo {
 			}
 		}
 	}
+	// Flat port layout: every dynamic node's declared inputs get
+	// contiguous slots (static refs included — they are never latched,
+	// but a uniform layout keeps indexing branch-free).
 	gi.dynIns = make([]int, g.MaxID())
+	gi.inOff = make([]int32, g.MaxID())
+	gi.predOff = make([]int32, g.MaxID())
+	gi.tokOff = make([]int32, g.MaxID())
+	off := int32(0)
+	for id := 0; id < g.MaxID(); id++ {
+		n := gi.nodeByID[id]
+		if n == nil || gi.static[id] {
+			continue
+		}
+		gi.inOff[id] = off
+		gi.predOff[id] = off + int32(len(n.Ins))
+		gi.tokOff[id] = off + int32(len(n.Ins)+len(n.Preds))
+		off += int32(len(n.Ins) + len(n.Preds) + len(n.Toks))
+		if n.Kind == pegasus.KTokenGen {
+			gi.tokGens = append(gi.tokGens, int32(id))
+		}
+	}
+	gi.numPorts = int(off)
 	for _, n := range g.Nodes {
 		if n.Dead || gi.static[n.ID] {
 			continue
@@ -169,7 +242,7 @@ func buildGraphInfo(g *pegasus.Graph) *graphInfo {
 				return
 			}
 			gi.dynIns[user.ID]++
-			e := consumerEdge{node: user, p: port{cls, idx}, out: r.Out}
+			e := consumerEdge{node: user, p: port{cls, idx}, dstPort: gi.portIndex(user, cls, idx)}
 			if r.Out == pegasus.OutToken {
 				gi.tokConsumers[r.N.ID] = append(gi.tokConsumers[r.N.ID], e)
 			} else {
@@ -177,111 +250,141 @@ func buildGraphInfo(g *pegasus.Graph) *graphInfo {
 			}
 		})
 	}
+	// Flat occupancy layout follows the consumer lists.
+	gi.valEdgeOff = make([]int32, g.MaxID())
+	gi.tokEdgeOff = make([]int32, g.MaxID())
+	vo, to := int32(0), int32(0)
+	for id := 0; id < g.MaxID(); id++ {
+		gi.valEdgeOff[id] = vo
+		gi.tokEdgeOff[id] = to
+		vo += int32(len(gi.valConsumers[id]))
+		to += int32(len(gi.tokConsumers[id]))
+	}
+	gi.numVal = int(vo)
+	gi.numTok = int(to)
 	return gi
 }
 
-// nodeState is the dynamic state of one node instance.
+// nodeState is the dynamic state of one node instance: delivery-order
+// floors, the token generator's credit counter, and the fired-once mark
+// of wave-less nodes. Latches and edge occupancy live in the activation's
+// flat arrays (see actState), not here.
 type nodeState struct {
-	// latches[portKey] is a FIFO of arrived values (tokens use value 1).
-	latches map[port][]int64
-	// occ[out] counts reserved slots on this node's output edges (shared
-	// across all out-edges: the max over edges would be finer; using the
-	// sum of one counter per consumer is exact, so we track per consumer
-	// edge below).
-	occVal []int // per value-consumer edge occupancy
-	occTok []int // per token-consumer edge occupancy
 	// lastDeliver enforces in-order output delivery.
 	lastDeliverVal int64
 	lastDeliverTok int64
+	// tokgen credit counter.
+	counter int32
+	// firedOnce marks completion of zero-dynamic-input nodes.
+	firedOnce bool
+}
+
+// latchEntry is one arrived value latched at a consumer port, together
+// with the producer-side bookkeeping needed to release the producer's
+// edge slot on consumption (and, under tracing, attribute the arrival).
+type latchEntry struct {
+	val int64
+	// fireSeq and at record, for tracing, which firing produced this
+	// value and when it arrived.
+	fireSeq  int64
+	at       int64
+	prodNode int32
+	prodEdge int32
+	prodTok  bool
+}
+
+// portQueue is the FIFO of values latched at one input port. head indexes
+// the front; buf is reset (retaining capacity) whenever the queue drains,
+// so steady-state operation never allocates.
+type portQueue struct {
+	buf  []latchEntry
+	head int32
+}
+
+func (q *portQueue) size() int { return len(q.buf) - int(q.head) }
+
+// actState is the entire dynamic state of one activation, grouped so the
+// whole thing can be recycled through the graph's sync.Pool: per-node
+// state, per-port latch queues, per-edge occupancy counters, memoized
+// static values, and the parameter buffer.
+type actState struct {
+	nodes  []nodeState
+	ports  []portQueue
+	occVal []int32
+	occTok []int32
 	// nextVal/nextTok, allocated only under fault injection, track the
 	// earliest legal delivery time per consumer edge so injected delays
 	// preserve the edge's FIFO order (a slow wire is still a wire).
 	nextVal []int64
 	nextTok []int64
-	// tokgen counter
-	counter int
-	// firedOnce marks completion of zero-dynamic-input nodes.
-	firedOnce bool
+	// memoized values of static nodes.
+	staticVals []int64
+	staticOK   []bool
+	params     []int64
+}
+
+func newActState(gi *graphInfo) *actState {
+	return &actState{
+		nodes:      make([]nodeState, gi.g.MaxID()),
+		ports:      make([]portQueue, gi.numPorts),
+		occVal:     make([]int32, gi.numVal),
+		occTok:     make([]int32, gi.numTok),
+		staticVals: make([]int64, gi.g.MaxID()),
+		staticOK:   make([]bool, gi.g.MaxID()),
+	}
+}
+
+// prepare resets recycled state to the pristine activation-start layout
+// (fresh state from newActState is already zero except the counters).
+func (st *actState) prepare(gi *graphInfo, fresh bool) {
+	if !fresh {
+		clear(st.nodes)
+		for i := range st.ports {
+			st.ports[i].buf = st.ports[i].buf[:0]
+			st.ports[i].head = 0
+		}
+		clear(st.occVal)
+		clear(st.occTok)
+		clear(st.nextVal)
+		clear(st.nextTok)
+		clear(st.staticOK)
+	}
+	for _, id := range gi.tokGens {
+		st.nodes[id].counter = int32(gi.nodeByID[id].TokN)
+	}
+}
+
+// edgeNext returns the per-consumer-edge minimum-next-delivery array for
+// one output class of node id, allocating the backing array on first use
+// (fault injection only).
+func (st *actState) edgeNext(gi *graphInfo, out pegasus.Out, id int) []int64 {
+	if out == pegasus.OutToken {
+		if st.nextTok == nil {
+			st.nextTok = make([]int64, gi.numTok)
+		}
+		return st.nextTok[gi.tokEdgeOff[id]:]
+	}
+	if st.nextVal == nil {
+		st.nextVal = make([]int64, gi.numVal)
+	}
+	return st.nextVal[gi.valEdgeOff[id]:]
 }
 
 // activation is one dynamic instance of a function.
 type activation struct {
-	id     int
-	gi     *graphInfo
-	frame  uint32
-	params []int64
-	states []*nodeState
-	done   bool
+	id    int
+	gi    *graphInfo
+	frame uint32
+	st    *actState
+	done  bool
+	// actsIdx is this activation's slot in machine.acts (live set).
+	actsIdx int
 	// parent call to complete when KReturn fires.
 	retTo  *pegasus.Node
 	retAct *activation
-	// memoized values of static nodes.
-	staticVals []int64
-	staticOK   []bool
 }
 
-func (m *machine) state(a *activation, n *pegasus.Node) *nodeState {
-	s := a.states[n.ID]
-	if s == nil {
-		s = &nodeState{
-			latches: map[port][]int64{},
-			occVal:  make([]int, len(a.gi.valConsumers[n.ID])),
-			occTok:  make([]int, len(a.gi.tokConsumers[n.ID])),
-			counter: n.TokN,
-		}
-		a.states[n.ID] = s
-	}
-	return s
-}
-
-// --- event queue ---
-
-type evKind uint8
-
-const (
-	evDeliver evKind = iota
-	evCheck
-)
-
-type event struct {
-	time int64
-	seq  int64
-	kind evKind
-	act  *activation
-	node *pegasus.Node
-	p    port
-	val  int64
-	// edge occupancy release bookkeeping: when a delivered value is
-	// consumed the producer-side occupancy must drop; we track the
-	// producer edge on the latch entry instead (see latchEntry).
-	prodAct  *activation
-	prodNode *pegasus.Node
-	prodOut  pegasus.Out
-	prodEdge int
-	// prodFire is the trace firing Seq of the producing firing (0 when
-	// tracing is disabled or the value was seeded outside a firing).
-	prodFire int64
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
+func (a *activation) params() []int64 { return a.st.params }
 
 // machine is the simulator.
 type machine struct {
@@ -296,13 +399,21 @@ type machine struct {
 	stats  Stats
 
 	nextActID int
-	// frame allocator: free frames by size.
+	// frame allocator: free frames by size, plus the live-frame count for
+	// overflow diagnostics.
 	sp         uint32
+	liveFrames int
 	freeFrames map[uint32][]uint32
 
 	mainAct  *activation
 	mainVal  int64
 	mainDone bool
+
+	// scratch buffers reused by consumeAll; a dispatch never nests inside
+	// another dispatch, so one set suffices.
+	insBuf   []int64
+	predsBuf []int64
+	toksBuf  []int64
 
 	// profile, when non-nil, records per-node firing counts.
 	profile *Profile
@@ -322,30 +433,13 @@ type machine struct {
 	// err latches the first fire-path failure; the run loop stops on it.
 	err error
 
-	// acts registers every activation for stuck-state diagnosis.
+	// acts registers every live activation for stuck-state diagnosis;
+	// completed activations are removed so their state can be recycled.
 	acts []*activation
 
-	// latchProducer remembers, for each latched entry, which producer
-	// edge to release on consumption: keyed by (act,node,port) parallel
-	// to the latch FIFO.
-	producers map[prodKey][]prodRef
-}
-
-type prodKey struct {
-	act  *activation
-	node *pegasus.Node
-	p    port
-}
-
-type prodRef struct {
-	act  *activation
-	node *pegasus.Node
-	out  pegasus.Out
-	edge int
-	// fireSeq and at record, for tracing, which firing produced this
-	// latched value and when it arrived.
-	fireSeq int64
-	at      int64
+	// evHook, when non-nil, observes every processed event (tests: the
+	// deterministic-replay invariant). Nil-guarded like the tracer.
+	evHook func(time, seq int64, act int, node *pegasus.Node)
 }
 
 func (m *machine) info(g *pegasus.Graph) *graphInfo {
@@ -359,13 +453,19 @@ func (m *machine) info(g *pegasus.Graph) *graphInfo {
 
 func (m *machine) newActivation(g *pegasus.Graph, args []int64, retTo *pegasus.Node, retAct *activation) *activation {
 	gi := m.info(g)
+	st, recycled := gi.pool.Get().(*actState)
+	if !recycled {
+		st = newActState(gi)
+	}
+	st.prepare(gi, !recycled)
+	st.params = append(st.params[:0], args...)
 	a := &activation{
-		id:     m.nextActID,
-		gi:     gi,
-		params: args,
-		states: make([]*nodeState, g.MaxID()),
-		retTo:  retTo,
-		retAct: retAct,
+		id:      m.nextActID,
+		gi:      gi,
+		st:      st,
+		retTo:   retTo,
+		retAct:  retAct,
+		actsIdx: len(m.acts),
 	}
 	m.nextActID++
 	m.acts = append(m.acts, a)
@@ -378,10 +478,27 @@ func (m *machine) newActivation(g *pegasus.Graph, args []int64, retTo *pegasus.N
 	// them, so check them once explicitly.
 	for _, n := range g.Nodes {
 		if !n.Dead && !gi.static[n.ID] && gi.dynIns[n.ID] == 0 && n.Kind != pegasus.KEntryTok {
-			m.push(&event{time: m.now + 1, kind: evCheck, act: a, node: n})
+			m.pushCheck(m.now+1, a, n)
 		}
 	}
 	return a
+}
+
+// complete retires a finished activation: it leaves the live set and its
+// state returns to the graph's pool. Events still in flight for it are
+// dropped by the run loop on the done flag, which is checked before any
+// state access — the recycled actState is never touched through a stale
+// event.
+func (m *machine) complete(a *activation) {
+	a.done = true
+	m.freeFrame(a)
+	last := len(m.acts) - 1
+	m.acts[a.actsIdx] = m.acts[last]
+	m.acts[a.actsIdx].actsIdx = a.actsIdx
+	m.acts[last] = nil
+	m.acts = m.acts[:last]
+	a.gi.pool.Put(a.st)
+	a.st = nil
 }
 
 func (m *machine) allocFrame(fn *cminor.FuncDecl) uint32 {
@@ -389,16 +506,22 @@ func (m *machine) allocFrame(fn *cminor.FuncDecl) uint32 {
 	if size == 0 {
 		return 0
 	}
+	m.liveFrames++
 	if frames := m.freeFrames[size]; len(frames) > 0 {
 		f := frames[len(frames)-1]
 		m.freeFrames[size] = frames[:len(frames)-1]
+		// Zero the recycled frame. A fresh frame starts zeroed (simulated
+		// memory is zero-initialized), so without this a program reading
+		// an uninitialized local would see different values on first use
+		// versus reuse — breaking determinism across activation orders.
+		clear(m.mem[f : f+size])
 		return f
 	}
 	f := m.sp
 	m.sp += (size + 7) &^ 7
-	if m.sp >= m.prog.Layout.MemSize {
+	if m.sp > m.prog.Layout.MemSize {
 		m.fail(fmt.Errorf("%w: %d frames live, frame top 0x%x past memory size 0x%x",
-			ErrStackOverflow, m.nextActID, m.sp, m.prog.Layout.MemSize))
+			ErrStackOverflow, m.liveFrames, m.sp, m.prog.Layout.MemSize))
 	}
 	return f
 }
@@ -413,40 +536,49 @@ func (m *machine) fail(err error) {
 func (m *machine) freeFrame(a *activation) {
 	size := m.prog.Layout.FrameSize[a.gi.g.Fn]
 	if size > 0 {
+		m.liveFrames--
 		m.freeFrames[size] = append(m.freeFrames[size], a.frame)
 	}
 }
 
-func (m *machine) push(e *event) {
+func (m *machine) pushEvent(e event) {
 	e.seq = m.seq
 	m.seq++
-	heap.Push(&m.events, e)
+	m.events.push(e)
+}
+
+func (m *machine) pushCheck(t int64, a *activation, n *pegasus.Node) {
+	m.pushEvent(event{time: t, kind: evCheck, act: a, node: n})
 }
 
 // emit schedules delivery of one output of (a, n) to every consumer and
 // reserves edge occupancy.
 func (m *machine) emit(a *activation, n *pegasus.Node, out pegasus.Out, val int64, t int64) {
-	st := m.state(a, n)
+	ns := &a.st.nodes[n.ID]
 	var cons []consumerEdge
+	var occ []int32
 	if out == pegasus.OutToken {
-		if t < st.lastDeliverTok {
-			t = st.lastDeliverTok
+		if t < ns.lastDeliverTok {
+			t = ns.lastDeliverTok
 		}
-		st.lastDeliverTok = t
+		ns.lastDeliverTok = t
 		cons = a.gi.tokConsumers[n.ID]
+		occ = a.st.occTok[a.gi.tokEdgeOff[n.ID]:]
 	} else {
-		if t < st.lastDeliverVal {
-			t = st.lastDeliverVal
+		if t < ns.lastDeliverVal {
+			t = ns.lastDeliverVal
 		}
-		st.lastDeliverVal = t
+		ns.lastDeliverVal = t
 		cons = a.gi.valConsumers[n.ID]
+		occ = a.st.occVal[a.gi.valEdgeOff[n.ID]:]
 	}
 	var fireSeq int64
 	if m.tracer != nil {
 		fireSeq = m.tracer.CurSeq()
 		m.tracer.Emit(t)
 	}
-	for i, c := range cons {
+	for i := range cons {
+		c := &cons[i]
 		dt := t
 		copies := 1
 		if m.inj != nil {
@@ -460,7 +592,7 @@ func (m *machine) emit(a *activation, n *pegasus.Node, out pegasus.Out, val int6
 			}
 			// Preserve the edge's FIFO order under injected delays: a
 			// later delivery may not overtake a delayed one.
-			next := st.edgeNext(out, len(cons))
+			next := a.st.edgeNext(a.gi, out, n.ID)
 			if dt < next[i] {
 				dt = next[i]
 			}
@@ -470,44 +602,30 @@ func (m *machine) emit(a *activation, n *pegasus.Node, out pegasus.Out, val int6
 			}
 		}
 		for k := 0; k < copies; k++ {
-			if out == pegasus.OutToken {
-				st.occTok[i]++
-			} else {
-				st.occVal[i]++
-			}
-			m.push(&event{
-				time: dt, kind: evDeliver, act: a, node: c.node, p: c.p, val: val,
-				prodAct: a, prodNode: n, prodOut: out, prodEdge: i, prodFire: fireSeq,
+			occ[i]++
+			m.pushEvent(event{
+				time: dt, kind: evDeliver, act: a, node: c.node, dstPort: c.dstPort, val: val,
+				prodNode: int32(n.ID), prodTok: out == pegasus.OutToken, prodEdge: int32(i), prodFire: fireSeq,
 			})
 		}
 	}
 }
 
-// edgeNext returns the per-consumer-edge minimum-next-delivery array for
-// one output class, allocating it on first use (fault injection only).
-func (st *nodeState) edgeNext(out pegasus.Out, n int) []int64 {
-	if out == pegasus.OutToken {
-		if st.nextTok == nil {
-			st.nextTok = make([]int64, n)
-		}
-		return st.nextTok
-	}
-	if st.nextVal == nil {
-		st.nextVal = make([]int64, n)
-	}
-	return st.nextVal
-}
-
 // capacityFree reports whether every output edge of (a,n) for `out` has a
 // free slot.
 func (m *machine) capacityFree(a *activation, n *pegasus.Node, out pegasus.Out) bool {
-	st := m.state(a, n)
-	occ := st.occVal
+	var occ []int32
+	var ne int
 	if out == pegasus.OutToken {
-		occ = st.occTok
+		occ = a.st.occTok[a.gi.tokEdgeOff[n.ID]:]
+		ne = len(a.gi.tokConsumers[n.ID])
+	} else {
+		occ = a.st.occVal[a.gi.valEdgeOff[n.ID]:]
+		ne = len(a.gi.valConsumers[n.ID])
 	}
-	for _, o := range occ {
-		if o >= m.cfg.EdgeCap {
+	cap32 := int32(m.cfg.EdgeCap)
+	for _, o := range occ[:ne] {
+		if o >= cap32 {
 			return false
 		}
 	}
@@ -515,7 +633,7 @@ func (m *machine) capacityFree(a *activation, n *pegasus.Node, out pegasus.Out) 
 }
 
 func (m *machine) run() error {
-	for m.events.Len() > 0 {
+	for m.events.len() > 0 {
 		if m.err != nil {
 			return m.err
 		}
@@ -528,26 +646,29 @@ func (m *machine) run() error {
 				}
 			}
 		}
-		e := heap.Pop(&m.events).(*event)
+		e := m.events.pop()
 		if e.time > m.cfg.MaxCycles {
 			m.now = e.time
 			return &LivelockError{MaxCycles: m.cfg.MaxCycles, Report: m.stuckReport("livelock")}
 		}
 		m.now = e.time
+		m.stats.Events++
+		if m.evHook != nil {
+			m.evHook(e.time, e.seq, e.act.id, e.node)
+		}
 		if e.act.done {
-			// Drop events for completed activations, releasing producer
-			// occupancy so upstream nodes in live activations are not
-			// blocked (only matters for cross-activation edges, which do
-			// not exist; safe regardless).
+			// Drop events for completed activations: their state has been
+			// recycled, and nothing in a live activation depends on them
+			// (cross-activation edges do not exist).
 			continue
 		}
 		switch e.kind {
 		case evDeliver:
-			st := m.state(e.act, e.node)
-			st.latches[e.p] = append(st.latches[e.p], e.val)
-			key := prodKey{e.act, e.node, e.p}
-			m.producers[key] = append(m.producers[key],
-				prodRef{e.prodAct, e.prodNode, e.prodOut, e.prodEdge, e.prodFire, e.time})
+			q := &e.act.st.ports[e.dstPort]
+			q.buf = append(q.buf, latchEntry{
+				val: e.val, fireSeq: e.prodFire, at: e.time,
+				prodNode: e.prodNode, prodEdge: e.prodEdge, prodTok: e.prodTok,
+			})
 			m.tryFire(e.act, e.node)
 		case evCheck:
 			m.tryFire(e.act, e.node)
@@ -568,53 +689,48 @@ func (m *machine) run() error {
 // consume pops the front of a latch, releasing the producer edge slot and
 // rechecking the producer.
 func (m *machine) consume(a *activation, n *pegasus.Node, p port) int64 {
-	st := m.state(a, n)
-	q := st.latches[p]
-	v := q[0]
-	st.latches[p] = q[1:]
-	key := prodKey{a, n, p}
-	prods := m.producers[key]
-	pr := prods[0]
-	m.producers[key] = prods[1:]
-	pst := m.state(pr.act, pr.node)
-	if pr.out == pegasus.OutToken {
-		pst.occTok[pr.edge]--
+	q := &a.st.ports[a.gi.portIndex(n, p.cls, p.idx)]
+	le := q.buf[q.head]
+	q.head++
+	if int(q.head) == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	if le.prodTok {
+		a.st.occTok[a.gi.tokEdgeOff[le.prodNode]+le.prodEdge]--
 	} else {
-		pst.occVal[pr.edge]--
+		a.st.occVal[a.gi.valEdgeOff[le.prodNode]+le.prodEdge]--
 	}
 	if m.tracer != nil {
-		m.tracer.Consume(pr.fireSeq, pr.at, pr.out == pegasus.OutToken)
+		m.tracer.Consume(le.fireSeq, le.at, le.prodTok)
 	}
 	// The producer may have been stalled on this edge.
-	m.push(&event{time: m.now, kind: evCheck, act: pr.act, node: pr.node})
-	return v
+	m.pushCheck(m.now, a, a.gi.nodeByID[le.prodNode])
+	return le.val
 }
 
 func (m *machine) has(a *activation, n *pegasus.Node, p port) bool {
-	return len(m.state(a, n).latches[p]) > 0
+	return a.st.ports[a.gi.portIndex(n, p.cls, p.idx)].size() > 0
 }
 
 func (m *machine) peek(a *activation, n *pegasus.Node, p port) int64 {
-	return m.state(a, n).latches[p][0]
+	q := &a.st.ports[a.gi.portIndex(n, p.cls, p.idx)]
+	return q.buf[q.head].val
 }
 
 // staticValue evaluates a static node's value (memoized per activation):
 // sources directly, pure computations recursively over static inputs.
 func (m *machine) staticValue(a *activation, r pegasus.Ref) int64 {
 	n := r.N
-	if a.staticOK == nil {
-		a.staticOK = make([]bool, len(a.states))
-		a.staticVals = make([]int64, len(a.states))
-	}
-	if a.staticOK[n.ID] {
-		return a.staticVals[n.ID]
+	if a.st.staticOK[n.ID] {
+		return a.st.staticVals[n.ID]
 	}
 	var v int64
 	switch n.Kind {
 	case pegasus.KConst:
 		v = n.ConstVal
 	case pegasus.KParam:
-		v = a.params[n.ParamIdx]
+		v = a.st.params[n.ParamIdx]
 	case pegasus.KAddrOf:
 		if addr, ok := m.prog.Layout.AddressOfObject(n.Obj); ok {
 			v = int64(addr)
@@ -643,8 +759,8 @@ func (m *machine) staticValue(a *activation, r pegasus.Ref) int64 {
 	default:
 		panic("staticValue on dynamic node kind " + n.Kind.String())
 	}
-	a.staticOK[n.ID] = true
-	a.staticVals[n.ID] = v
+	a.st.staticOK[n.ID] = true
+	a.st.staticVals[n.ID] = v
 	return v
 }
 

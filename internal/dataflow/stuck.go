@@ -235,11 +235,11 @@ func sortBlocked(bs []BlockedNode, index map[actNodeKey]int) {
 // whether (a, n) is blocked and, if so, on what.
 func (m *machine) classifyBlocked(a *activation, n *pegasus.Node) (BlockedNode, bool) {
 	b := BlockedNode{Graph: a.gi.g.Name, Act: a.id, Node: n}
-	st := m.state(a, n)
+	ns := &a.st.nodes[n.ID]
 	if a.gi.dynIns[n.ID] == 0 {
 		// Fire-once node: blocked only if it never managed to fire,
 		// which can only be backpressure.
-		if st.firedOnce {
+		if ns.firedOnce {
 			return b, false
 		}
 		b.Waits = m.backpressureEdges(a, n)
@@ -290,7 +290,7 @@ func (m *machine) classifyBlocked(a *activation, n *pegasus.Node) (BlockedNode, 
 		if predVal == 0 {
 			return b, false // would fire (counter reset); not blocked
 		}
-		if st.counter <= 0 {
+		if ns.counter <= 0 {
 			b.Waits = []WaitEdge{{Kind: WaitCredit, Port: pegasus.PortTok, Idx: 0, Peer: n.Toks[0].N, PeerAct: a.id}}
 			return b, true
 		}
@@ -310,15 +310,16 @@ func (m *machine) classifyBlocked(a *activation, n *pegasus.Node) (BlockedNode, 
 // backpressureEdges lists wait edges to the consumers of (a, n)'s full
 // output edges.
 func (m *machine) backpressureEdges(a *activation, n *pegasus.Node) []WaitEdge {
-	st := m.state(a, n)
 	var out []WaitEdge
+	occVal := a.st.occVal[a.gi.valEdgeOff[n.ID]:]
 	for i, c := range a.gi.valConsumers[n.ID] {
-		if st.occVal[i] >= m.cfg.EdgeCap {
+		if int(occVal[i]) >= m.cfg.EdgeCap {
 			out = append(out, WaitEdge{Kind: WaitBackpressure, Port: c.p.cls, Idx: c.p.idx, Peer: c.node, PeerAct: a.id})
 		}
 	}
+	occTok := a.st.occTok[a.gi.tokEdgeOff[n.ID]:]
 	for i, c := range a.gi.tokConsumers[n.ID] {
-		if st.occTok[i] >= m.cfg.EdgeCap {
+		if int(occTok[i]) >= m.cfg.EdgeCap {
 			out = append(out, WaitEdge{Kind: WaitBackpressure, Port: c.p.cls, Idx: c.p.idx, Peer: c.node, PeerAct: a.id})
 		}
 	}

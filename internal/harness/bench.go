@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"spatial/internal/dataflow"
+	"spatial/internal/opt"
+	"spatial/internal/workloads"
+)
+
+// BenchSet is the representative workload subset the simulator
+// performance baseline tracks (the same five programs as the root
+// go-test benchmarks).
+var BenchSet = []string{"adpcm_e", "epic_e", "g721_e", "mesa", "129.compress"}
+
+// BenchLevels are the optimization levels the baseline sweeps.
+var BenchLevels = []opt.Level{opt.None, opt.Basic, opt.Medium, opt.Full}
+
+// BenchRow is one (workload, level) measurement of simulator throughput.
+// Value/Cycles/Events identify the run semantically — they must be
+// bit-identical across engine changes — while the rate metrics track the
+// engine's speed.
+type BenchRow struct {
+	Workload string `json:"workload"`
+	Level    int    `json:"level"`
+
+	Value  int64 `json:"value"`
+	Cycles int64 `json:"cycles"`
+	Events int64 `json:"events"`
+
+	Runs        int     `json:"runs"`
+	NsPerRun    float64 `json:"ns_per_run"`
+	NsPerEvent  float64 `json:"ns_per_event"`
+	AllocsPerEv float64 `json:"allocs_per_event"`
+	SimCycSec   float64 `json:"sim_cycles_per_sec"`
+}
+
+// BenchReport is the serialized form of one baseline sweep (BENCH.json).
+type BenchReport struct {
+	GoVersion string     `json:"go_version"`
+	BenchTime string     `json:"bench_time"`
+	Rows      []BenchRow `json:"rows"`
+}
+
+// Bench measures simulator throughput for the named workloads at every
+// level in BenchLevels. Each (workload, level) pair is compiled once and
+// then run repeatedly for at least minTime; the first run's result is
+// the reference, and every repeat must reproduce it bit-identically
+// (value and cycle count) or Bench fails — a perf baseline that drifts
+// semantically is worthless. Allocation counts come from the runtime's
+// cumulative malloc counter across the timed runs.
+func Bench(names []string, minTime time.Duration) (*BenchReport, error) {
+	rep := &BenchReport{
+		GoVersion: runtime.Version(),
+		BenchTime: minTime.String(),
+	}
+	for _, name := range names {
+		w := workloads.ByName(name)
+		if w == nil {
+			return nil, fmt.Errorf("bench: unknown workload %q", name)
+		}
+		for _, level := range BenchLevels {
+			row, err := benchOne(w, level, minTime)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+func benchOne(w *workloads.Workload, level opt.Level, minTime time.Duration) (BenchRow, error) {
+	row := BenchRow{Workload: w.Name, Level: int(level)}
+	p, err := compileWorkload(w, level, nil)
+	if err != nil {
+		return row, err
+	}
+	cfg := dataflow.DefaultConfig()
+
+	// Warm-up run: captures the reference result and fills the engine's
+	// pools so the timed loop measures the steady state.
+	ref, err := dataflow.Run(p, w.Entry, nil, cfg)
+	if err != nil {
+		return row, fmt.Errorf("%s @%s: %w", w.Name, level, err)
+	}
+	row.Value, row.Cycles, row.Events = ref.Value, ref.Stats.Cycles, ref.Stats.Events
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var elapsed time.Duration
+	runs := 0
+	for elapsed < minTime || runs < 2 {
+		res, err := dataflow.Run(p, w.Entry, nil, cfg)
+		if err != nil {
+			return row, fmt.Errorf("%s @%s: %w", w.Name, level, err)
+		}
+		if res.Value != ref.Value || res.Stats.Cycles != ref.Stats.Cycles || res.Stats.Events != ref.Stats.Events {
+			return row, fmt.Errorf("%s @%s: nondeterministic: run %d gave (value %d, cycles %d, events %d), reference (%d, %d, %d)",
+				w.Name, level, runs, res.Value, res.Stats.Cycles, res.Stats.Events, ref.Value, ref.Stats.Cycles, ref.Stats.Events)
+		}
+		runs++
+		elapsed = time.Since(start)
+	}
+	runtime.ReadMemStats(&ms1)
+
+	totalEvents := float64(row.Events) * float64(runs)
+	row.Runs = runs
+	row.NsPerRun = float64(elapsed.Nanoseconds()) / float64(runs)
+	row.NsPerEvent = float64(elapsed.Nanoseconds()) / totalEvents
+	row.AllocsPerEv = float64(ms1.Mallocs-ms0.Mallocs) / totalEvents
+	row.SimCycSec = float64(row.Cycles) * float64(runs) / elapsed.Seconds()
+	return row, nil
+}
+
+// MaxAllocsPerEvent returns the worst allocs/event across the report —
+// the CI smoke gate compares this against its budget.
+func (r *BenchReport) MaxAllocsPerEvent() float64 {
+	worst := 0.0
+	for _, row := range r.Rows {
+		if row.AllocsPerEv > worst {
+			worst = row.AllocsPerEv
+		}
+	}
+	return worst
+}
+
+// Benchstat renders the report as benchstat-compatible lines
+// (`BenchmarkSim/<workload>/O<level> <runs> <ns/op> ns/op ...`), so two
+// BENCH runs can be compared with `benchstat old.txt new.txt`.
+func (r *BenchReport) Benchstat() string {
+	var b strings.Builder
+	rows := append([]BenchRow(nil), r.Rows...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Workload != rows[j].Workload {
+			return rows[i].Workload < rows[j].Workload
+		}
+		return rows[i].Level < rows[j].Level
+	})
+	for _, row := range rows {
+		fmt.Fprintf(&b, "BenchmarkSim/%s/O%d %d %.0f ns/op %.1f ns/event %.4f allocs/event %.0f sim-cycles/sec\n",
+			row.Workload, row.Level, row.Runs, row.NsPerRun, row.NsPerEvent, row.AllocsPerEv, row.SimCycSec)
+	}
+	return b.String()
+}
+
+// FormatBench renders the human-readable table printed by `-exp bench`.
+func FormatBench(r *BenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulator throughput baseline (%s, benchtime %s)\n", r.GoVersion, r.BenchTime)
+	fmt.Fprintf(&b, "%-14s %-5s %12s %12s %10s %12s %14s\n",
+		"workload", "level", "cycles", "events", "ns/event", "allocs/ev", "sim-cyc/sec")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s O%-4d %12d %12d %10.1f %12.4f %14.0f\n",
+			row.Workload, row.Level, row.Cycles, row.Events,
+			row.NsPerEvent, row.AllocsPerEv, row.SimCycSec)
+	}
+	return b.String()
+}

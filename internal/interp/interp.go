@@ -112,9 +112,15 @@ func (m *Machine) callFn(fn *cminor.FuncDecl, args []int64) (int64, error) {
 	fr := &frame{fn: fn, vars: map[*cminor.VarDecl]int64{}, base: m.sp}
 	size := m.layout.FrameSize[fn]
 	m.sp += (size + 7) &^ 7
-	if int(m.sp) >= len(m.mem) {
+	if int(m.sp) > len(m.mem) {
 		return 0, fmt.Errorf("interp: stack overflow in %s", fn.Name)
 	}
+	// Locals start zeroed, matching the dataflow simulator's frame
+	// allocator (which zeroes recycled frames): without this, a program
+	// reading an uninitialized local would see stale bytes from an
+	// earlier call at the same stack depth, and the two engines would
+	// disagree nondeterministically.
+	clear(m.mem[fr.base:m.sp])
 	defer func() { m.sp = fr.base }()
 	for i, p := range fn.Params {
 		if obj, ok := m.an.ObjectOf(p); ok {
