@@ -8,13 +8,22 @@
 //	            [-bench name[,name...]] [-quick]
 //	experiments -exp bench [-bench name[,name...]] [-benchtime 200ms]
 //	            [-benchout BENCH.json] [-allocbudget 0.01]
+//	experiments -exp serve [-bench name[,name...]] [-benchtime 200ms]
+//
+// -exp serve measures the batch simulation service: the worker scaling
+// curve (runs/sec and per-stream ns/event at 1/2/4/8 workers, with
+// per-stream determinism verified against the serial run) and the
+// compile cache (hit rate and throughput for a request mix that repeats
+// each program many times).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,11 +31,12 @@ import (
 	"spatial/internal/harness"
 	"spatial/internal/memsys"
 	"spatial/internal/opt"
+	"spatial/internal/serve"
 	"spatial/internal/workloads"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig18, fig19, ablation, spatial, irsize, area, section2, bench, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig18, fig19, ablation, spatial, irsize, area, section2, bench, serve, all")
 	bench := flag.String("bench", "", "restrict to a comma-separated benchmark list")
 	quick := flag.Bool("quick", false, "use a reduced sweep for fig19")
 	benchTime := flag.Duration("benchtime", 200*time.Millisecond, "minimum timed duration per (workload, level) for -exp bench")
@@ -54,6 +64,12 @@ func main() {
 	// quiet machine.
 	if *exp == "bench" {
 		if err := runBench(benchNames, *benchTime, *benchOut, *allocBudget); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "serve" {
+		if err := runServe(benchNames, *benchTime); err != nil {
 			fatal(err)
 		}
 		return
@@ -185,6 +201,10 @@ func runBench(names []string, benchTime time.Duration, out string, allocBudget f
 	if err != nil {
 		return fmt.Errorf("bench: %w", err)
 	}
+	rep.Parallel, err = harness.BenchParallel(names, harness.BenchWorkers, benchTime)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
 	fmt.Print(harness.FormatBench(rep))
 	fmt.Println()
 	fmt.Print(rep.Benchstat())
@@ -204,6 +224,62 @@ func runBench(names []string, benchTime time.Duration, out string, allocBudget f
 		}
 		fmt.Printf("allocs/event within budget %.4f (worst %.4f)\n", allocBudget, rep.MaxAllocsPerEvent())
 	}
+	return nil
+}
+
+// runServe measures the batch simulation service layer end to end:
+// first the worker scaling curve (shared compiled structures, every
+// stream's result verified against the serial reference), then the
+// compile cache's effect on a request mix that repeats each program.
+func runServe(names []string, benchTime time.Duration) error {
+	if len(names) == 0 {
+		names = harness.BenchSet
+	}
+	rows, err := harness.BenchParallel(names, harness.BenchWorkers, benchTime)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Print(harness.FormatParallel(runtime.NumCPU(), rows))
+
+	// Cache experiment: each program appears `repeats` times in the mix;
+	// a perfect cache compiles each program once and serves the rest.
+	const repeats = 8
+	eng := serve.New(serve.Config{})
+	defer eng.Close()
+	var reqs []serve.Request
+	for _, name := range names {
+		w := workloads.ByName(name)
+		for i := 0; i < repeats; i++ {
+			reqs = append(reqs, serve.Request{Source: w.Source, Level: opt.Full, Entry: w.Entry})
+		}
+	}
+	start := time.Now()
+	out := eng.DoBatch(context.Background(), reqs)
+	elapsed := time.Since(start)
+	for i, r := range out {
+		if r.Err != nil {
+			return fmt.Errorf("serve: request %d (%s): %w", i, reqs[i].Entry, r.Err)
+		}
+	}
+	// Determinism across the batch: all repeats of one program must agree.
+	for i := 0; i < len(out); i += repeats {
+		ref := out[i].Resp
+		for j := i + 1; j < i+repeats; j++ {
+			got := out[j].Resp
+			if got.Value != ref.Value || got.Stats.Cycles != ref.Stats.Cycles || got.Stats.Events != ref.Stats.Events {
+				return fmt.Errorf("serve: %s repeat %d diverged: (%d,%d,%d) vs (%d,%d,%d)",
+					names[i/repeats], j-i, got.Value, got.Stats.Cycles, got.Stats.Events,
+					ref.Value, ref.Stats.Cycles, ref.Stats.Events)
+			}
+		}
+	}
+	s := eng.Stats()
+	fmt.Printf("\nCompile cache (%d requests = %d programs x %d repeats, %d workers)\n",
+		len(reqs), len(names), repeats, runtime.GOMAXPROCS(0))
+	fmt.Printf("  completed %d, failed %d, cache hits %d, shared flights %d, misses %d, hit rate %.1f%%\n",
+		s.Completed, s.Failed, s.CacheHits, s.CacheShared, s.CacheMisses, 100*s.HitRate())
+	fmt.Printf("  batch time %s (%.2f runs/sec), all repeats bit-identical\n",
+		elapsed.Round(time.Millisecond), float64(len(reqs))/elapsed.Seconds())
 	return nil
 }
 

@@ -19,6 +19,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"spatial/internal/build"
@@ -106,6 +107,12 @@ func (o Options) apply(c *config) {
 }
 
 // Compiled is a fully compiled program.
+//
+// A Compiled is immutable after CompileSource returns and safe for
+// concurrent use: any number of goroutines may call its Run* methods at
+// the same time. Each run gets a private memory image, event queue, and
+// memory system; the graphs and the prebuilt per-graph structures are
+// shared read-only (see DESIGN.md "Concurrency model").
 type Compiled struct {
 	Program *pegasus.Program
 	Source  *cminor.Program
@@ -119,6 +126,18 @@ type Compiled struct {
 	// Deadline is the wall-clock budget each Run gets (see WithDeadline);
 	// zero means unbounded.
 	Deadline time.Duration
+
+	// shared is the prebuilt per-graph structure table every run of this
+	// program reuses (built once, on first use, under sharedOnce).
+	sharedOnce sync.Once
+	shared     *dataflow.Shared
+}
+
+// sharedInfo returns the program's prebuilt simulation structures,
+// building them on first use. Concurrent first calls build exactly once.
+func (c *Compiled) sharedInfo() *dataflow.Shared {
+	c.sharedOnce.Do(func() { c.shared = dataflow.Prebuild(c.Program) })
+	return c.shared
 }
 
 // CompileSource parses, checks, builds, and optimizes a cMinor program.
@@ -211,7 +230,7 @@ func (c *Compiled) RunCtx(ctx context.Context, entry string, args []int64) (res 
 	defer guard(&err)
 	ctx, cancel := c.deadlineCtx(ctx)
 	defer cancel()
-	res, err = dataflow.RunCtx(ctx, c.Program, entry, args, c.simConfig())
+	res, err = c.sharedInfo().RunCtx(ctx, entry, args, c.simConfig())
 	return res, classify(ErrSim, err)
 }
 
@@ -223,7 +242,7 @@ func (c *Compiled) RunFaulted(ctx context.Context, entry string, args []int64, i
 	defer guard(&err)
 	ctx, cancel := c.deadlineCtx(ctx)
 	defer cancel()
-	res, err = dataflow.RunFaulted(ctx, c.Program, entry, args, c.simConfig(), inj)
+	res, err = c.sharedInfo().RunFaulted(ctx, entry, args, c.simConfig(), inj)
 	return res, classify(ErrSim, err)
 }
 
@@ -232,7 +251,7 @@ func (c *Compiled) RunWith(entry string, args []int64, cfg SimConfig) (res *SimR
 	defer guard(&err)
 	ctx, cancel := c.deadlineCtx(nil)
 	defer cancel()
-	res, err = dataflow.RunCtx(ctx, c.Program, entry, args, cfg)
+	res, err = c.sharedInfo().RunCtx(ctx, entry, args, cfg)
 	return res, classify(ErrSim, err)
 }
 
@@ -245,7 +264,7 @@ func (c *Compiled) RunProfiled(entry string, args []int64) (res *SimResult, prof
 	defer guard(&err)
 	ctx, cancel := c.deadlineCtx(nil)
 	defer cancel()
-	res, prof, err = dataflow.RunProfiledCtx(ctx, c.Program, entry, args, c.simConfig())
+	res, prof, err = c.sharedInfo().RunProfiledCtx(ctx, entry, args, c.simConfig())
 	return res, prof, classify(ErrSim, err)
 }
 
@@ -275,7 +294,7 @@ func (c *Compiled) RunTracedWith(entry string, args []int64, cfg SimConfig, tc T
 	defer guard(&err)
 	ctx, cancel := c.deadlineCtx(nil)
 	defer cancel()
-	res, tr, err = dataflow.RunTracedCtx(ctx, c.Program, entry, args, cfg, tc)
+	res, tr, err = c.sharedInfo().RunTracedCtx(ctx, entry, args, cfg, tc)
 	return res, tr, classify(ErrSim, err)
 }
 

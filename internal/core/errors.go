@@ -71,6 +71,11 @@ func classify(class, err error) error {
 	return &classedError{class: class, err: err}
 }
 
+// Classified wraps err under one of the facade's error classes — the
+// exported form of the facade's own classification, for layers built on
+// top of core (e.g. internal/serve keying a request's configuration).
+func Classified(class, err error) error { return classify(class, err) }
+
 // guard converts a panic escaping the facade into an ErrInternal-classed
 // error. Every public Compile/Run entry point defers it, which is what
 // makes the "no panic reachable from the facade" guarantee hold even for

@@ -20,6 +20,10 @@ type runOpts struct {
 	// evHook observes every processed event (time, seq, activation id,
 	// node); used by tests to assert deterministic replay.
 	evHook func(time, seq int64, act int, node *pegasus.Node)
+	// shared, when non-nil, supplies prebuilt graph structures (and their
+	// actState pools) reused across runs; it must have been built for the
+	// same program. Nil means build a private table for this run.
+	shared *Shared
 }
 
 // runMachine is the single internal runner behind every Run* variant: it
@@ -39,12 +43,18 @@ func runMachine(p *pegasus.Program, entry string, args []int64, cfg Config, o ru
 	if len(args) != len(g.Fn.Params) {
 		return nil, nil, fmt.Errorf("dataflow: %s expects %d arguments, got %d", entry, len(g.Fn.Params), len(args))
 	}
+	sh := o.shared
+	if sh == nil {
+		sh = Prebuild(p)
+	} else if sh.prog != p {
+		return nil, nil, fmt.Errorf("dataflow: shared structures were built for a different program")
+	}
 	m := &machine{
 		prog:       p,
 		cfg:        cfg,
 		mem:        make([]byte, p.Layout.MemSize),
 		msys:       memsys.New(cfg.Mem),
-		infos:      map[string]*graphInfo{},
+		shared:     sh,
 		sp:         p.Layout.StackBase,
 		freeFrames: map[uint32][]uint32{},
 		profile:    o.prof,

@@ -121,6 +121,10 @@ type consumerEdge struct {
 // static/dynamic node classification, consumer edge lists, and the flat
 // index layout (port offsets, edge-occupancy offsets) that lets one
 // activation's entire dynamic state live in a handful of dense slices.
+//
+// Immutability contract: after buildGraphInfo returns, no field except
+// pool is ever written again. Runs on any number of goroutines read the
+// same graphInfo concurrently (it lives in the program's Shared table).
 type graphInfo struct {
 	g *pegasus.Graph
 	// nodeByID maps node IDs back to nodes (dense; nil for compacted IDs).
@@ -154,7 +158,10 @@ type graphInfo struct {
 	numVal   int // total value-consumer edges
 	numTok   int // total token-consumer edges
 	// pool recycles actState across activations of this graph, so calls
-	// in steady state allocate nothing.
+	// in steady state allocate nothing. graphInfo is shared by every run
+	// of the program (see Shared), so the pool is also shared across
+	// concurrent runs; sync.Pool is safe for that, and each actState is
+	// owned by exactly one activation between Get and Put.
 	pool sync.Pool
 }
 
@@ -386,13 +393,16 @@ type activation struct {
 
 func (a *activation) params() []int64 { return a.st.params }
 
-// machine is the simulator.
+// machine is the simulator. One machine executes one run; the only state
+// it shares with concurrent runs of the same program is the immutable
+// *Shared table (and the actState pools inside it, which are
+// concurrency-safe).
 type machine struct {
 	prog   *pegasus.Program
 	cfg    Config
 	mem    []byte
 	msys   *memsys.System
-	infos  map[string]*graphInfo
+	shared *Shared
 	events eventQueue
 	seq    int64
 	now    int64
@@ -442,14 +452,7 @@ type machine struct {
 	evHook func(time, seq int64, act int, node *pegasus.Node)
 }
 
-func (m *machine) info(g *pegasus.Graph) *graphInfo {
-	gi, ok := m.infos[g.Name]
-	if !ok {
-		gi = buildGraphInfo(g)
-		m.infos[g.Name] = gi
-	}
-	return gi
-}
+func (m *machine) info(g *pegasus.Graph) *graphInfo { return m.shared.info(g) }
 
 func (m *machine) newActivation(g *pegasus.Graph, args []int64, retTo *pegasus.Node, retAct *activation) *activation {
 	gi := m.info(g)

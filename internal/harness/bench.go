@@ -40,10 +40,15 @@ type BenchRow struct {
 }
 
 // BenchReport is the serialized form of one baseline sweep (BENCH.json).
+// CPUs records the machine's core count so the parallel rows can be
+// read in context — a scaling curve flattens at the physical core
+// count, not at the worker count.
 type BenchReport struct {
-	GoVersion string     `json:"go_version"`
-	BenchTime string     `json:"bench_time"`
-	Rows      []BenchRow `json:"rows"`
+	GoVersion string        `json:"go_version"`
+	CPUs      int           `json:"cpus"`
+	BenchTime string        `json:"bench_time"`
+	Rows      []BenchRow    `json:"rows"`
+	Parallel  []ParallelRow `json:"parallel,omitempty"`
 }
 
 // Bench measures simulator throughput for the named workloads at every
@@ -56,6 +61,7 @@ type BenchReport struct {
 func Bench(names []string, minTime time.Duration) (*BenchReport, error) {
 	rep := &BenchReport{
 		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
 		BenchTime: minTime.String(),
 	}
 	for _, name := range names {
@@ -146,6 +152,10 @@ func (r *BenchReport) Benchstat() string {
 		fmt.Fprintf(&b, "BenchmarkSim/%s/O%d %d %.0f ns/op %.1f ns/event %.4f allocs/event %.0f sim-cycles/sec\n",
 			row.Workload, row.Level, row.Runs, row.NsPerRun, row.NsPerEvent, row.AllocsPerEv, row.SimCycSec)
 	}
+	for _, row := range r.Parallel {
+		fmt.Fprintf(&b, "BenchmarkParallel/%s/W%d %d %.0f ns/op %.1f ns/event %.2f runs/sec %.2f speedup\n",
+			row.Workload, row.Workers, row.Runs, 1e9/row.RunsPerSec, row.NsPerEvent, row.RunsPerSec, row.Speedup)
+	}
 	return b.String()
 }
 
@@ -159,6 +169,23 @@ func FormatBench(r *BenchReport) string {
 		fmt.Fprintf(&b, "%-14s O%-4d %12d %12d %10.1f %12.4f %14.0f\n",
 			row.Workload, row.Level, row.Cycles, row.Events,
 			row.NsPerEvent, row.AllocsPerEv, row.SimCycSec)
+	}
+	if len(r.Parallel) > 0 {
+		b.WriteString("\n")
+		b.WriteString(FormatParallel(r.CPUs, r.Parallel))
+	}
+	return b.String()
+}
+
+// FormatParallel renders the parallel scaling curve as a table.
+func FormatParallel(cpus int, rows []ParallelRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel batch throughput (%d CPUs, shared compiled structures, per-stream determinism verified)\n", cpus)
+	fmt.Fprintf(&b, "%-14s %-8s %8s %12s %10s %10s\n",
+		"workload", "workers", "runs", "runs/sec", "ns/event", "speedup")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-14s %-8d %8d %12.2f %10.1f %9.2fx\n",
+			row.Workload, row.Workers, row.Runs, row.RunsPerSec, row.NsPerEvent, row.Speedup)
 	}
 	return b.String()
 }

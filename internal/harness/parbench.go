@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatial/internal/dataflow"
+	"spatial/internal/opt"
+	"spatial/internal/workloads"
+)
+
+// BenchWorkers is the worker-count sweep for the parallel throughput
+// rows: enough points to read a scaling curve without dominating bench
+// time.
+var BenchWorkers = []int{1, 2, 4, 8}
+
+// ParallelRow is one (workload, workers) measurement of batch
+// throughput: W goroutines each looping complete simulations of the
+// same compiled program against one shared immutable dataflow.Shared.
+// Value/Cycles/Events are the serial reference; every run in every
+// stream must reproduce them bit-identically or the benchmark fails —
+// the parallel rows double as the concurrency-safety regression gate.
+type ParallelRow struct {
+	Workload string `json:"workload"`
+	Level    int    `json:"level"`
+	Workers  int    `json:"workers"`
+
+	Value  int64 `json:"value"`
+	Cycles int64 `json:"cycles"`
+	Events int64 `json:"events"`
+
+	Runs       int     `json:"runs"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+	// NsPerEvent is per-stream latency: summed in-run wall time across
+	// all streams divided by total events. Under perfect scaling it
+	// stays flat as workers grow while RunsPerSec multiplies.
+	NsPerEvent float64 `json:"ns_per_event"`
+	// Speedup is RunsPerSec relative to the 1-worker row of the same
+	// workload (1.0 for the 1-worker row itself).
+	Speedup float64 `json:"speedup_vs_1w"`
+}
+
+// BenchParallel measures batch-simulation scaling for the named
+// workloads at opt.Full across the given worker counts. Each workload
+// is compiled once; all streams share the immutable prebuilt structures
+// (dataflow.Prebuild), which is exactly the sharing the serve engine
+// relies on. Any stream whose run diverges from the serial reference
+// aborts the sweep with an error.
+func BenchParallel(names []string, workers []int, minTime time.Duration) ([]ParallelRow, error) {
+	var rows []ParallelRow
+	for _, name := range names {
+		w := workloads.ByName(name)
+		if w == nil {
+			return nil, fmt.Errorf("bench: unknown workload %q", name)
+		}
+		p, err := compileWorkload(w, opt.Full, nil)
+		if err != nil {
+			return nil, err
+		}
+		sh := dataflow.Prebuild(p)
+		cfg := dataflow.DefaultConfig()
+		ref, err := sh.Run(w.Entry, nil, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+
+		base := 0.0
+		for _, nw := range workers {
+			row, err := benchParallelOne(w, sh, cfg, ref, nw, minTime)
+			if err != nil {
+				return nil, err
+			}
+			if base == 0 {
+				base = row.RunsPerSec
+			}
+			row.Speedup = row.RunsPerSec / base
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// benchParallelOne runs one point of the scaling curve: nw streams
+// looping full simulations until minTime elapses, every result checked
+// against the serial reference.
+func benchParallelOne(w *workloads.Workload, sh *dataflow.Shared, cfg dataflow.Config, ref *dataflow.Result, nw int, minTime time.Duration) (ParallelRow, error) {
+	row := ParallelRow{
+		Workload: w.Name,
+		Level:    int(opt.Full),
+		Workers:  nw,
+		Value:    ref.Value,
+		Cycles:   ref.Stats.Cycles,
+		Events:   ref.Stats.Events,
+	}
+
+	var stop atomic.Bool
+	var runs, busy atomic.Int64
+	errc := make(chan error, nw)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			n := 0
+			for n == 0 || !stop.Load() {
+				t0 := time.Now()
+				res, err := sh.Run(w.Entry, nil, cfg)
+				busy.Add(time.Since(t0).Nanoseconds())
+				if err != nil {
+					errc <- fmt.Errorf("%s @%d workers, stream %d: %w", w.Name, nw, stream, err)
+					return
+				}
+				if res.Value != ref.Value || res.Stats.Cycles != ref.Stats.Cycles || res.Stats.Events != ref.Stats.Events {
+					errc <- fmt.Errorf("%s @%d workers, stream %d run %d diverged from serial reference: got (value %d, cycles %d, events %d), want (%d, %d, %d)",
+						w.Name, nw, stream, n, res.Value, res.Stats.Cycles, res.Stats.Events,
+						ref.Value, ref.Stats.Cycles, ref.Stats.Events)
+					return
+				}
+				n++
+				runs.Add(1)
+			}
+		}(i)
+	}
+	time.Sleep(minTime)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	select {
+	case err := <-errc:
+		return row, err
+	default:
+	}
+
+	total := runs.Load()
+	row.Runs = int(total)
+	row.RunsPerSec = float64(total) / elapsed.Seconds()
+	row.NsPerEvent = float64(busy.Load()) / (float64(row.Events) * float64(total))
+	return row, nil
+}

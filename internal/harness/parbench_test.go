@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBenchParallel(t *testing.T) {
+	workers := []int{1, 2}
+	rows, err := BenchParallel([]string{"adpcm_e"}, workers, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workers) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(workers))
+	}
+	for i, row := range rows {
+		if row.Workers != workers[i] {
+			t.Errorf("row %d: workers = %d, want %d", i, row.Workers, workers[i])
+		}
+		// Every stream completes at least one run even if minTime expires.
+		if row.Runs < row.Workers {
+			t.Errorf("row %d: runs = %d < workers %d", i, row.Runs, row.Workers)
+		}
+		if row.RunsPerSec <= 0 || row.NsPerEvent <= 0 {
+			t.Errorf("row %d: degenerate rates %+v", i, row)
+		}
+		if row.Value != rows[0].Value || row.Cycles != rows[0].Cycles || row.Events != rows[0].Events {
+			t.Errorf("row %d: reference drifted across worker counts: %+v vs %+v", i, row, rows[0])
+		}
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Errorf("1-worker speedup = %f, want 1.0", rows[0].Speedup)
+	}
+
+	rep := &BenchReport{GoVersion: "go-test", CPUs: 1, BenchTime: "30ms", Parallel: rows}
+	out := FormatBench(rep)
+	if !strings.Contains(out, "Parallel batch throughput") || !strings.Contains(out, "adpcm_e") {
+		t.Errorf("FormatBench missing parallel section:\n%s", out)
+	}
+	if !strings.Contains(rep.Benchstat(), "BenchmarkParallel/adpcm_e/W2") {
+		t.Errorf("Benchstat missing parallel lines:\n%s", rep.Benchstat())
+	}
+}
+
+func TestBenchParallelUnknownWorkload(t *testing.T) {
+	if _, err := BenchParallel([]string{"no_such"}, []int{1}, time.Millisecond); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}

@@ -1,0 +1,377 @@
+// Package serve is the batch simulation service layer: it turns the
+// one-program, one-run facade into an engine that handles many
+// independent (program, input) requests at once.
+//
+// Two mechanisms carry the load:
+//
+//   - A content-addressed compile cache memoizes the full CASH pipeline
+//     (CFG → hyperblocks → PSSA → Pegasus → memory optimizations). The
+//     key is a SHA-256 digest of the source and every compile-time
+//     parameter; the value is the immutable *core.Compiled with its
+//     prebuilt per-graph structures. The cache is a bounded LRU with
+//     single-flight: N concurrent requests for the same program compile
+//     it exactly once.
+//
+//   - A fixed worker pool (default GOMAXPROCS) executes runs. Admission
+//     is a bounded queue: when it is full the engine rejects with
+//     ErrOverload instead of growing goroutines without bound, so an
+//     overloaded service degrades by shedding load, not by dying.
+//
+// Requests are embarrassingly parallel — the paper's independence
+// argument applied at the service level: each run owns its memory image,
+// event queue, and memory system, and shares only immutable compiled
+// structures (see DESIGN.md "Concurrency model").
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatial/internal/core"
+	"spatial/internal/dataflow"
+	"spatial/internal/opt"
+)
+
+// Errors returned by the engine itself (run and compile failures come
+// back classified by the core facade: core.ErrCompile / core.ErrSim).
+var (
+	// ErrOverload reports that the admission queue was full; the caller
+	// should back off and retry.
+	ErrOverload = errors.New("serve: overloaded, admission queue full")
+	// ErrClosed reports a request submitted after Close.
+	ErrClosed = errors.New("serve: engine closed")
+)
+
+// Config parameterizes an Engine. The zero value selects sensible
+// defaults for every field.
+type Config struct {
+	// Workers is the number of goroutines executing runs; 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the admission queue; a request arriving when the
+	// queue is full is rejected with ErrOverload. 0 means 4×Workers.
+	QueueDepth int
+	// CacheEntries bounds the compile cache (distinct compiled programs
+	// kept); 0 means 64.
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 64
+	}
+	return c
+}
+
+// Request is one simulation to execute: a program (compile-time fields,
+// which form the cache key) and an invocation (run-time fields, which do
+// not).
+type Request struct {
+	// Source is the cMinor program text.
+	Source string
+	// Level selects the optimization preset.
+	Level opt.Level
+	// Passes, when non-nil, overrides Level with explicit toggles.
+	Passes *opt.Options
+	// Sim is the simulator configuration; the zero value means defaults.
+	// It is normalized before keying, so configs differing only in
+	// defaulted fields share a cache entry.
+	Sim dataflow.Config
+
+	// Entry is the function to run ("main" when empty).
+	Entry string
+	// Args are the entry function's arguments.
+	Args []int64
+	// Deadline, when positive, bounds the request's total time in the
+	// engine — queue wait plus run — via the run's context.
+	Deadline time.Duration
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	Value int64
+	Stats dataflow.Stats
+	// CacheHit reports whether compilation was served from the cache
+	// (including joining a compile already in flight).
+	CacheHit bool
+	// Wait is the time the request spent queued before a worker took it.
+	Wait time.Duration
+	// Total is the request's full residence time in the engine.
+	Total time.Duration
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Completed uint64 // runs finished successfully
+	Failed    uint64 // requests that ended in a compile or run error
+	Rejected  uint64 // requests shed with ErrOverload
+
+	CacheHits      uint64 // lookups served by a ready entry
+	CacheShared    uint64 // lookups that joined an in-flight compile
+	CacheMisses    uint64 // lookups that had to compile
+	CacheEvictions uint64 // ready entries evicted by the LRU bound
+	CacheEntries   int    // entries currently resident
+}
+
+// HitRate returns the fraction of lookups that avoided a compile.
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheShared + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.CacheShared) / float64(total)
+}
+
+// job is one queued request with its completion channel.
+type job struct {
+	req    Request
+	ctx    context.Context
+	queued time.Time
+	done   chan jobResult
+}
+
+type jobResult struct {
+	resp *Response
+	err  error
+}
+
+// Engine is the batch simulation service. Create one with New, submit
+// with Do or DoBatch from any number of goroutines, and Close it when
+// done. All methods are safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	queue chan *job
+
+	mu    sync.Mutex // guards cache
+	cache *compileCache
+
+	// compileFn builds a Compiled for a request; tests swap it to count
+	// and instrument pipeline executions.
+	compileFn func(Request) (*core.Compiled, error)
+
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64
+
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New starts an engine with cfg's worker pool and cache.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:       cfg,
+		queue:     make(chan *job, cfg.QueueDepth),
+		cache:     newCompileCache(cfg.CacheEntries),
+		compileFn: compileRequest,
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// compileRequest runs the full pipeline for a request's compile-time
+// fields.
+func compileRequest(r Request) (*core.Compiled, error) {
+	opts := []core.Option{core.WithLevel(r.Level)}
+	if r.Passes != nil {
+		opts = append(opts, core.WithPasses(*r.Passes))
+	}
+	if r.Sim != (dataflow.Config{}) {
+		opts = append(opts, core.WithSim(r.Sim))
+	}
+	return core.CompileSource(r.Source, opts...)
+}
+
+// Close stops accepting requests, waits for queued and running work to
+// drain, and returns. Close is idempotent.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.queue)
+	e.closeMu.Unlock()
+	e.wg.Wait()
+}
+
+// Do submits one request and blocks until it completes, fails, or ctx is
+// done. A full admission queue rejects immediately with ErrOverload; a
+// nil ctx means context.Background(). Do is safe to call from any number
+// of goroutines.
+func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
+	return e.submit(ctx, req, false)
+}
+
+// BatchResult pairs one batch item's response with its error.
+type BatchResult struct {
+	Resp *Response
+	Err  error
+}
+
+// DoBatch submits every request and waits for all of them, returning
+// results in request order. Unlike Do, admission blocks instead of
+// rejecting — the batch itself bounds the number of waiters, so there is
+// no unbounded growth — making DoBatch an all-or-errors bulk interface.
+func (e *Engine) DoBatch(ctx context.Context, reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	var wg sync.WaitGroup
+	wg.Add(len(reqs))
+	for i, r := range reqs {
+		go func(i int, r Request) {
+			defer wg.Done()
+			resp, err := e.submit(ctx, r, true)
+			out[i] = BatchResult{Resp: resp, Err: err}
+		}(i, r)
+	}
+	wg.Wait()
+	return out
+}
+
+// submit enqueues a job and waits for its result. block selects the
+// admission policy: false rejects with ErrOverload when the queue is
+// full, true waits for a slot (DoBatch).
+func (e *Engine) submit(ctx context.Context, req Request, block bool) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+		defer cancel()
+	}
+	j := &job{req: req, ctx: ctx, queued: time.Now(), done: make(chan jobResult, 1)}
+
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	if block {
+		// Blocking admission: hold the RLock so Close cannot close the
+		// queue mid-send; Close's Lock waits for us.
+		select {
+		case e.queue <- j:
+		case <-ctx.Done():
+			e.closeMu.RUnlock()
+			return nil, ctx.Err()
+		}
+	} else {
+		select {
+		case e.queue <- j:
+		default:
+			e.closeMu.RUnlock()
+			e.rejected.Add(1)
+			return nil, fmt.Errorf("%w (depth %d)", ErrOverload, e.cfg.QueueDepth)
+		}
+	}
+	e.closeMu.RUnlock()
+
+	select {
+	case r := <-j.done:
+		return r.resp, r.err
+	case <-ctx.Done():
+		// The worker will observe the canceled context and drop the job;
+		// the buffered done channel never blocks it.
+		return nil, ctx.Err()
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		resp, err := e.process(j)
+		if err != nil {
+			e.failed.Add(1)
+		} else {
+			e.completed.Add(1)
+		}
+		j.done <- jobResult{resp: resp, err: err}
+	}
+}
+
+// process executes one job on the calling worker: resolve the compiled
+// program through the cache (compiling it here if this job is the
+// flight's leader), then run it under the job's context.
+func (e *Engine) process(j *job) (*Response, error) {
+	wait := time.Since(j.queued)
+	if err := j.ctx.Err(); err != nil {
+		// Abandoned while queued (deadline or caller cancellation).
+		return nil, err
+	}
+	cp, hit, err := e.compiled(j.ctx, j.req)
+	if err != nil {
+		return nil, err
+	}
+	entry := j.req.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	res, err := cp.RunCtx(j.ctx, entry, j.req.Args)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Value:    res.Value,
+		Stats:    res.Stats,
+		CacheHit: hit,
+		Wait:     wait,
+		Total:    time.Since(j.queued),
+	}, nil
+}
+
+// compiled resolves the request's program through the cache. The second
+// result reports whether the compilation was shared (a ready entry or a
+// joined flight) rather than performed by this call.
+func (e *Engine) compiled(ctx context.Context, req Request) (*core.Compiled, bool, error) {
+	key, err := req.key()
+	if err != nil {
+		return nil, false, core.Classified(core.ErrCompile, err)
+	}
+	e.mu.Lock()
+	ent, leader := e.cache.lookup(key)
+	e.mu.Unlock()
+	if leader {
+		cp, cerr := e.compileFn(req)
+		e.mu.Lock()
+		e.cache.finish(ent, cp, cerr)
+		e.mu.Unlock()
+		return cp, false, cerr
+	}
+	cp, werr := ent.wait(ctx)
+	return cp, true, werr
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	s := Stats{
+		CacheHits:      e.cache.hits,
+		CacheShared:    e.cache.shared,
+		CacheMisses:    e.cache.misses,
+		CacheEvictions: e.cache.evictions,
+		CacheEntries:   e.cache.lru.Len(),
+	}
+	e.mu.Unlock()
+	s.Completed = e.completed.Load()
+	s.Failed = e.failed.Load()
+	s.Rejected = e.rejected.Load()
+	return s
+}

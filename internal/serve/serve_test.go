@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spatial/internal/core"
+	"spatial/internal/opt"
+)
+
+// TestOverloadBackpressure fills the pool and the queue, then verifies
+// the next request is shed with ErrOverload instead of waiting.
+func TestOverloadBackpressure(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 1, CacheEntries: 4})
+	defer e.Close()
+
+	gate := make(chan struct{})
+	var once sync.Once
+	e.compileFn = func(r Request) (*core.Compiled, error) {
+		once.Do(func() { <-gate }) // first compile blocks the only worker
+		return compileRequest(r)
+	}
+
+	req := Request{Source: srcLoop, Level: opt.Full, Entry: "f", Args: []int64{10}}
+	first := make(chan error, 1)
+	go func() {
+		_, err := e.Do(context.Background(), req)
+		first <- err
+	}()
+	// Wait until the worker is inside the gated compile.
+	for e.Stats().CacheMisses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Occupy the single queue slot.
+	second := make(chan error, 1)
+	go func() {
+		_, err := e.Do(context.Background(), req)
+		second <- err
+	}()
+	for len(e.queue) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full, worker busy: this one must be rejected immediately.
+	if _, err := e.Do(context.Background(), req); !errors.Is(err, ErrOverload) {
+		t.Fatalf("err = %v, want ErrOverload", err)
+	}
+	if s := e.Stats(); s.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", s.Rejected)
+	}
+
+	close(gate)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-second; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadline verifies a per-request deadline aborts a long run through
+// the existing RunCtx cancellation path.
+func TestDeadline(t *testing.T) {
+	e := New(Config{Workers: 1, CacheEntries: 4})
+	defer e.Close()
+
+	// ~10^8 iterations: far longer than a microsecond deadline.
+	slow := `
+int f(void) {
+  int i; int s = 0;
+  for (i = 0; i < 100000000; i++) s += i;
+  return s;
+}`
+	_, err := e.Do(context.Background(), Request{Source: slow, Level: opt.None, Entry: "f", Deadline: time.Microsecond})
+	if err == nil {
+		t.Fatal("expected a deadline error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, core.ErrSim) {
+		t.Fatalf("err = %v, want DeadlineExceeded or ErrSim class", err)
+	}
+}
+
+// TestDoBatch checks order preservation and per-item results, with the
+// batch larger than the queue (blocking admission).
+func TestDoBatch(t *testing.T) {
+	e := New(Config{Workers: 2, QueueDepth: 2, CacheEntries: 4})
+	defer e.Close()
+
+	reqs := make([]Request, 9)
+	for i := range reqs {
+		reqs[i] = Request{Source: srcAdd, Level: opt.Full, Entry: "f", Args: []int64{int64(i), 100}}
+	}
+	out := e.DoBatch(context.Background(), reqs)
+	if len(out) != len(reqs) {
+		t.Fatalf("got %d results, want %d", len(out), len(reqs))
+	}
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if want := int64(i + 100); r.Resp.Value != want {
+			t.Fatalf("item %d = %d, want %d", i, r.Resp.Value, want)
+		}
+	}
+	s := e.Stats()
+	if s.Completed != uint64(len(reqs)) || s.CacheMisses != 1 {
+		t.Fatalf("stats = completed %d misses %d, want %d/1", s.Completed, s.CacheMisses, len(reqs))
+	}
+}
+
+// TestParallelDeterminism hammers the engine from many goroutines with a
+// mix of programs and verifies every response is bit-identical to the
+// serial reference — the service-level version of the simulator's
+// determinism contract. Run under -race in CI.
+func TestParallelDeterminism(t *testing.T) {
+	e := New(Config{Workers: 4, QueueDepth: 64, CacheEntries: 8})
+	defer e.Close()
+
+	mix := []Request{
+		{Source: srcLoop, Level: opt.Full, Entry: "f", Args: []int64{10}},
+		{Source: srcArr, Level: opt.Full, Entry: "f", Args: []int64{3}},
+		{Source: srcLoop, Level: opt.Medium, Entry: "f", Args: []int64{10}},
+	}
+	refs := make([]*Response, len(mix))
+	for i, r := range mix {
+		resp, err := e.Do(context.Background(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = resp
+	}
+
+	const goroutines = 8
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g + i) % len(mix)
+				resp, err := e.Do(context.Background(), mix[k])
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					bad.Add(1)
+					return
+				}
+				ref := refs[k]
+				if resp.Value != ref.Value || resp.Stats.Cycles != ref.Stats.Cycles || resp.Stats.Events != ref.Stats.Events {
+					t.Errorf("goroutine %d req %d diverged: (%d,%d,%d) vs (%d,%d,%d)", g, k,
+						resp.Value, resp.Stats.Cycles, resp.Stats.Events, ref.Value, ref.Stats.Cycles, ref.Stats.Events)
+					bad.Add(1)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if bad.Load() > 0 {
+		t.FailNow()
+	}
+	s := e.Stats()
+	if s.CacheMisses != uint64(len(mix)) {
+		t.Fatalf("misses = %d, want %d (every repeat served from cache)", s.CacheMisses, len(mix))
+	}
+}
+
+// TestClosed verifies post-Close submissions fail fast and Close is
+// idempotent.
+func TestClosed(t *testing.T) {
+	e := New(Config{Workers: 1})
+	e.Close()
+	e.Close()
+	if _, err := e.Do(context.Background(), Request{Source: srcAdd, Entry: "f", Args: []int64{1, 2}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCanceledWhileQueued verifies a job abandoned by its caller is
+// dropped by the worker rather than run.
+func TestCanceledWhileQueued(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 2, CacheEntries: 4})
+	defer e.Close()
+
+	gate := make(chan struct{})
+	var once sync.Once
+	e.compileFn = func(r Request) (*core.Compiled, error) {
+		once.Do(func() { <-gate })
+		return compileRequest(r)
+	}
+
+	req := Request{Source: srcLoop, Level: opt.Full, Entry: "f", Args: []int64{10}}
+	first := make(chan error, 1)
+	go func() {
+		_, err := e.Do(context.Background(), req)
+		first <- err
+	}()
+	for e.Stats().CacheMisses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	second := make(chan error, 1)
+	go func() {
+		_, err := e.Do(ctx, req)
+		second <- err
+	}()
+	for len(e.queue) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-second; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	close(gate)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	// The canceled job must not have produced a completed run: exactly
+	// one run (the first) completed; the second counts as failed when the
+	// worker observes its dead context, or was never processed.
+	s := e.Stats()
+	if s.Completed != 1 {
+		t.Fatalf("completed = %d, want 1", s.Completed)
+	}
+}

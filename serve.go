@@ -1,0 +1,54 @@
+package spatial
+
+import (
+	"context"
+
+	"spatial/internal/serve"
+)
+
+// Engine is the batch simulation service: a content-addressed compile
+// cache (bounded LRU with single-flight) in front of a fixed worker
+// pool with a bounded admission queue. Create one with NewEngine,
+// submit with Do or DoBatch from any number of goroutines, and Close it
+// when done. See internal/serve and DESIGN.md "Concurrency model".
+type Engine = serve.Engine
+
+// EngineConfig parameterizes NewEngine; the zero value selects
+// defaults (GOMAXPROCS workers, 4x queue depth, 64 cache entries).
+type EngineConfig = serve.Config
+
+// BatchRequest is one simulation to execute: compile-time fields form
+// the cache key, run-time fields (Entry, Args, Deadline) do not.
+type BatchRequest = serve.Request
+
+// BatchResponse is the outcome of one request, including whether the
+// compilation was served from the cache and the queue/total latency.
+type BatchResponse = serve.Response
+
+// BatchResult pairs one DoBatch item's response with its error.
+type BatchResult = serve.BatchResult
+
+// EngineStats is a snapshot of an engine's counters (runs, cache
+// hits/misses/evictions, rejections).
+type EngineStats = serve.Stats
+
+// Engine-level errors; compile and run failures come back classified
+// as ErrCompile / ErrSim like everywhere else.
+var (
+	// ErrOverload reports a request shed because the admission queue was
+	// full; back off and retry.
+	ErrOverload = serve.ErrOverload
+	// ErrEngineClosed reports a request submitted after Close.
+	ErrEngineClosed = serve.ErrClosed
+)
+
+// NewEngine starts a batch simulation engine.
+func NewEngine(cfg EngineConfig) *Engine { return serve.New(cfg) }
+
+// Simulate is the one-shot convenience for a single request on a
+// temporary engine; for repeated or concurrent use, keep an Engine.
+func Simulate(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	e := serve.New(serve.Config{})
+	defer e.Close()
+	return e.Do(ctx, req)
+}
