@@ -1,0 +1,287 @@
+// Package client is the Go client for cashd, the network-facing
+// simulation service. It speaks the versioned wire contract of package
+// spatial/api and adds the client-side half of the service's operational
+// behavior:
+//
+//   - Retries with exponential backoff when the daemon sheds load
+//     (HTTP 429), honoring the server's Retry-After hint when present.
+//   - Context deadlines: the request context bounds every attempt
+//     including backoff sleeps, and a context error is reported as an
+//     api.Error with ClassDeadline.
+//   - Shard routing: with several peers configured, each program is sent
+//     to the peer that owns its key on the shared consistent-hash ring,
+//     and batches are partitioned per owner then reassembled in request
+//     order. A daemon's 307 redirects are followed as a fallback, so an
+//     out-of-date peer list still reaches the right shard — routing is a
+//     fast path, not a correctness requirement.
+//
+// Typed failures surface as *api.Error; inspect .Class or call
+// .Temporary() to decide whether to retry at a higher level.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"spatial/api"
+)
+
+// Config parameterizes a Client. The zero value of every field selects
+// a sensible default.
+type Config struct {
+	// Peers is the daemon set, as base URLs. One peer means no routing;
+	// several mean consistent-hash routing by program key. Required.
+	Peers []string
+	// HTTPClient overrides the transport; nil means a dedicated client
+	// with no overall timeout (use request contexts for deadlines).
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after an overload shed; 0 means 4.
+	// Only temporary errors (429 overload, 503 closed) are retried.
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff; it doubles per attempt.
+	// 0 means 50ms. A server Retry-After hint overrides the schedule.
+	BaseBackoff time.Duration
+}
+
+// Client is a cashd client; it is safe for concurrent use.
+type Client struct {
+	cfg  Config
+	ring *api.Ring
+	http *http.Client
+}
+
+// New builds a client for the given daemon set.
+func New(cfg Config) (*Client, error) {
+	ring := api.NewRing(cfg.Peers, 0)
+	if ring == nil {
+		return nil, fmt.Errorf("client: no peers configured")
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.BaseBackoff == 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{cfg: cfg, ring: ring, http: hc}, nil
+}
+
+// owner returns the peer that owns p's slice of the key space.
+func (c *Client) owner(p api.Program) string { return c.ring.Owner(p.Key()) }
+
+// Compile compiles (and caches) a program on its owning shard without
+// running it.
+func (c *Client) Compile(ctx context.Context, p api.CompileRequest) (*api.CompileResponse, error) {
+	var out api.CompileResponse
+	if err := c.post(ctx, c.owner(p), "/"+api.Version+"/compile", p, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Run executes one simulation on the program's owning shard.
+func (c *Client) Run(ctx context.Context, r api.RunRequest) (*api.RunResponse, error) {
+	var out api.RunResponse
+	if err := c.post(ctx, c.owner(r.Program), "/"+api.Version+"/run", r, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch executes many simulations, partitioned across shards by each
+// program's owner and reassembled in request order. A sub-batch that
+// fails wholesale (transport error, rejected request) marks each of its
+// items with the failure rather than failing the whole call.
+func (c *Client) Batch(ctx context.Context, b api.BatchRequest) (*api.BatchResponse, error) {
+	if len(b.Runs) == 0 {
+		return &api.BatchResponse{Results: []api.BatchItem{}}, nil
+	}
+	// Partition run indices by owning peer, preserving relative order.
+	parts := make(map[string][]int)
+	for i, rr := range b.Runs {
+		o := c.owner(rr.Program)
+		parts[o] = append(parts[o], i)
+	}
+	results := make([]api.BatchItem, len(b.Runs))
+	var wg sync.WaitGroup
+	for peer, idxs := range parts {
+		wg.Add(1)
+		go func(peer string, idxs []int) {
+			defer wg.Done()
+			sub := api.BatchRequest{Runs: make([]api.RunRequest, len(idxs))}
+			for j, i := range idxs {
+				sub.Runs[j] = b.Runs[i]
+			}
+			var out api.BatchResponse
+			err := c.post(ctx, peer, "/"+api.Version+"/batch", sub, &out)
+			if err == nil && len(out.Results) != len(idxs) {
+				err = &api.Error{Class: api.ClassInternal,
+					Message: fmt.Sprintf("client: peer %s returned %d results for %d runs", peer, len(out.Results), len(idxs))}
+			}
+			for j, i := range idxs {
+				if err != nil {
+					results[i] = api.BatchItem{Err: wireError(err)}
+					continue
+				}
+				results[i] = out.Results[j]
+			}
+		}(peer, idxs)
+	}
+	wg.Wait()
+	return &api.BatchResponse{Results: results}, nil
+}
+
+// Trace downloads a recorded Chrome trace into w. The trace store is
+// per-daemon and the ID does not encode its owner, so each peer is asked
+// in turn; a 404 everywhere reports not_found.
+func (c *Client) Trace(ctx context.Context, id string, w io.Writer) error {
+	var lastErr error
+	for _, peer := range c.ring.Nodes() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/"+api.Version+"/trace/"+id, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = ctxError(ctx, err)
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			_, err = io.Copy(w, resp.Body)
+			resp.Body.Close()
+			return err
+		}
+		lastErr = decodeError(resp)
+		resp.Body.Close()
+	}
+	if lastErr == nil {
+		lastErr = &api.Error{Class: api.ClassNotFound, Message: "client: no trace " + id}
+	}
+	return lastErr
+}
+
+// Health checks every peer's liveness endpoint and reports the peers
+// that failed, if any.
+func (c *Client) Health(ctx context.Context) error {
+	var down []string
+	for _, peer := range c.ring.Nodes() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			down = append(down, fmt.Sprintf("%s: %v", peer, err))
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			down = append(down, fmt.Sprintf("%s: status %d", peer, resp.StatusCode))
+		}
+	}
+	if len(down) > 0 {
+		return fmt.Errorf("client: unhealthy peers: %s", strings.Join(down, "; "))
+	}
+	return nil
+}
+
+// post sends one JSON request with the retry/backoff loop. Temporary
+// failures (overload, closed) are retried up to MaxRetries times with
+// exponential backoff, honoring a server Retry-After hint; all sleeps
+// respect ctx.
+func (c *Client) post(ctx context.Context, peer, path string, body, out any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	backoff := c.cfg.BaseBackoff
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		// GetBody lets the transport replay the body across the daemon's
+		// 307 shard redirects.
+		req.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(data)), nil
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return ctxError(ctx, err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			err := json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close()
+			return err
+		}
+		apiErr := decodeError(resp)
+		resp.Body.Close()
+		if !apiErr.Temporary() || attempt >= c.cfg.MaxRetries {
+			return apiErr
+		}
+		wait := backoff
+		if apiErr.RetryAfterMS > 0 {
+			wait = time.Duration(apiErr.RetryAfterMS) * time.Millisecond
+		}
+		backoff *= 2
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctxError(ctx, ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// decodeError turns a non-200 response into a *api.Error, synthesizing
+// one from the status when the body is not a typed error (a proxy's
+// plain-text 502, say).
+func decodeError(resp *http.Response) *api.Error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var e api.Error
+	if err := json.Unmarshal(body, &e); err == nil && e.Class != "" {
+		if e.Status == 0 {
+			e.Status = resp.StatusCode
+		}
+		return &e
+	}
+	return &api.Error{
+		Class:   api.ClassForStatus(resp.StatusCode),
+		Message: fmt.Sprintf("client: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body))),
+		Status:  resp.StatusCode,
+	}
+}
+
+// ctxError prefers the context's own story over the transport's wrapped
+// version of it, and types it for callers.
+func ctxError(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return &api.Error{Class: api.ClassDeadline, Message: ctx.Err().Error(), Status: api.ClassDeadline.HTTPStatus()}
+	}
+	return err
+}
+
+// wireError coerces any error into the typed wire form for batch items.
+func wireError(err error) *api.Error {
+	var e *api.Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return &api.Error{Class: api.ClassInternal, Message: err.Error(), Status: api.ClassInternal.HTTPStatus()}
+}

@@ -38,7 +38,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cp, err := core.CompileSource(string(src), core.Options{Level: lv})
+	cp, err := core.CompileSource(string(src), core.WithLevel(lv))
 	if err != nil {
 		fatal(err)
 	}

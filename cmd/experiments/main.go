@@ -9,6 +9,15 @@
 //	experiments -exp bench [-bench name[,name...]] [-benchtime 200ms]
 //	            [-benchout BENCH.json] [-allocbudget 0.01]
 //	experiments -exp serve [-bench name[,name...]] [-benchtime 200ms]
+//	experiments -exp load [-url http://host:port] [-rates 25,50,100,200,400]
+//	            [-loaddur 2s] [-short] [-benchout BENCH.json]
+//
+// -exp load drives a cashd daemon with an open-loop generator and
+// records the offered load vs latency/shed curve (EXPERIMENTS.md
+// documents the protocol). With no -url it starts an in-process daemon
+// on loopback. -short is the CI smoke variant: one modest rate for ten
+// seconds, failing on any non-2xx response or any shed request.
+// -benchout merges the curve into the existing BENCH.json report.
 //
 // -exp serve measures the batch simulation service: the worker scaling
 // curve (runs/sec and per-stream ns/event at 1/2/4/8 workers, with
@@ -22,11 +31,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
+	"spatial/api"
+	"spatial/internal/cashd"
 	"spatial/internal/core"
 	"spatial/internal/harness"
 	"spatial/internal/memsys"
@@ -36,12 +50,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig18, fig19, ablation, spatial, irsize, area, section2, bench, serve, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig18, fig19, ablation, spatial, irsize, area, section2, bench, serve, load, all")
 	bench := flag.String("bench", "", "restrict to a comma-separated benchmark list")
 	quick := flag.Bool("quick", false, "use a reduced sweep for fig19")
 	benchTime := flag.Duration("benchtime", 200*time.Millisecond, "minimum timed duration per (workload, level) for -exp bench")
 	benchOut := flag.String("benchout", "", "write the -exp bench report as JSON to this file")
 	allocBudget := flag.Float64("allocbudget", -1, "fail -exp bench if any allocs/event exceeds this (negative disables)")
+	loadURL := flag.String("url", "", "-exp load: target daemon base URL (empty starts one in-process)")
+	loadRates := flag.String("rates", "", "-exp load: comma-separated offered rates in req/s")
+	loadDur := flag.Duration("loaddur", 2*time.Second, "-exp load: duration per offered rate")
+	short := flag.Bool("short", false, "-exp load: CI smoke (one modest rate, 10s, fail on any error or shed)")
 	flag.Parse()
 
 	ws := workloads.All()
@@ -70,6 +88,12 @@ func main() {
 	}
 	if *exp == "serve" {
 		if err := runServe(benchNames, *benchTime); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "load" {
+		if err := runLoad(*loadURL, *loadRates, *loadDur, *short, *benchOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -175,7 +199,7 @@ void f(unsigned *p, unsigned a[], int i) {
 	fmt.Println("Section 2: memory operations in the motivating example")
 	fmt.Println("  void f(unsigned*p, unsigned a[], int i)")
 	for _, lv := range []opt.Level{opt.None, opt.Full} {
-		cp, err := core.CompileSource(src, core.Options{Level: lv})
+		cp, err := core.CompileSource(src, core.WithLevel(lv))
 		if err != nil {
 			return err
 		}
@@ -244,13 +268,19 @@ func runServe(names []string, benchTime time.Duration) error {
 	// Cache experiment: each program appears `repeats` times in the mix;
 	// a perfect cache compiles each program once and serves the rest.
 	const repeats = 8
-	eng := serve.New(serve.Config{})
+	eng, err := serve.New(serve.Config{})
+	if err != nil {
+		return err
+	}
 	defer eng.Close()
 	var reqs []serve.Request
 	for _, name := range names {
 		w := workloads.ByName(name)
 		for i := 0; i < repeats; i++ {
-			reqs = append(reqs, serve.Request{Source: w.Source, Level: opt.Full, Entry: w.Entry})
+			reqs = append(reqs, serve.Request{
+				Program: api.Program{Source: w.Source, Level: api.LevelFull},
+				Entry:   w.Entry,
+			})
 		}
 	}
 	start := time.Now()
@@ -280,6 +310,110 @@ func runServe(names []string, benchTime time.Duration) error {
 		s.Completed, s.Failed, s.CacheHits, s.CacheShared, s.CacheMisses, 100*s.HitRate())
 	fmt.Printf("  batch time %s (%.2f runs/sec), all repeats bit-identical\n",
 		elapsed.Round(time.Millisecond), float64(len(reqs))/elapsed.Seconds())
+	return nil
+}
+
+// loadMix is the request set the load generator cycles through: small
+// distinct programs, so the curve measures service overhead and queueing
+// (after four compile misses everything is a cache hit), not compiler
+// throughput.
+func loadMix() []api.RunRequest {
+	var mix []api.RunRequest
+	for _, n := range []int{100, 200, 400, 800} {
+		src := fmt.Sprintf(`
+int f(void) {
+  int i; int s = 0;
+  for (i = 0; i < %d; i++) s += i;
+  return s;
+}`, n)
+		mix = append(mix, api.RunRequest{
+			Program: api.Program{Source: src, Level: api.LevelFull},
+			Entry:   "f",
+		})
+	}
+	return mix
+}
+
+// runLoad drives cashd with the open-loop generator and prints (and
+// optionally records) the offered-load curve. An empty url starts an
+// in-process daemon on loopback — the loopback stack costs the same for
+// every rate, so the curve's shape is still the service's.
+func runLoad(url, ratesCSV string, dur time.Duration, short bool, out string) error {
+	rates := []int{25, 50, 100, 200, 400}
+	if short {
+		// CI smoke: one modest rate, long enough to catch flakiness, with
+		// a hard zero-tolerance gate below.
+		rates = []int{20}
+		dur = 10 * time.Second
+	}
+	if ratesCSV != "" {
+		rates = nil
+		for _, s := range strings.Split(ratesCSV, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("load: bad rate %q: %w", s, err)
+			}
+			rates = append(rates, r)
+		}
+	}
+
+	if url == "" {
+		srv, err := cashd.New(cashd.Config{})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		url = "http://" + ln.Addr().String()
+		fmt.Printf("started in-process cashd at %s\n", url)
+	}
+
+	rows, err := harness.LoadCurve(url, rates, dur, loadMix())
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.FormatLoad(rows))
+
+	if out != "" {
+		rep := &harness.BenchReport{}
+		if data, err := os.ReadFile(out); err == nil {
+			if err := json.Unmarshal(data, rep); err != nil {
+				return fmt.Errorf("load: existing %s: %w", out, err)
+			}
+		}
+		if rep.GoVersion == "" {
+			rep.GoVersion = runtime.Version()
+			rep.CPUs = runtime.NumCPU()
+		}
+		rep.Load = rows
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("merged load curve into %s\n", out)
+	}
+
+	if short {
+		for _, r := range rows {
+			if r.Errors > 0 || r.Shed > 0 {
+				return fmt.Errorf("load: smoke gate failed at %d req/s: %d errors, %d shed (want 0/0)",
+					r.RateRPS, r.Errors, r.Shed)
+			}
+			if r.OK == 0 {
+				return fmt.Errorf("load: smoke gate saw no successful requests at %d req/s", r.RateRPS)
+			}
+		}
+		fmt.Println("smoke gate passed: all responses 2xx, nothing shed")
+	}
 	return nil
 }
 

@@ -102,7 +102,7 @@ func main() {
 	cfg := core.DefaultSim()
 	cfg.Mem = mcfg
 	cfg.EdgeCap = *edgeCap
-	cp, err := core.CompileSource(string(src), core.Options{Level: lv},
+	cp, err := core.CompileSource(string(src), core.WithLevel(lv),
 		core.WithSim(cfg), core.WithDeadline(*timeout))
 	if err != nil {
 		fatal(err)

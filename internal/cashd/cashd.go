@@ -1,0 +1,429 @@
+// Package cashd is the network-facing simulation service: an HTTP/JSON
+// daemon wrapping the internal/serve batch engine behind the versioned
+// wire API of package spatial/api. It is the paper's "replicate the
+// circuit" argument at datacenter scale — one compiled program, served
+// to any number of callers, from any number of daemons.
+//
+// Routes (all under the frozen api.Version prefix):
+//
+//	POST /v1/compile    compile (and cache) a program without running it
+//	POST /v1/run        one simulation; ?trace records a downloadable trace
+//	POST /v1/batch      many simulations, results in request order
+//	GET  /v1/trace/{id} Chrome trace-event JSON of a recorded run
+//	GET  /metrics       Prometheus text: cache, queue, shed, latency
+//	GET  /healthz       liveness
+//
+// Failures carry a typed api.Error body whose class fixes the HTTP
+// status (compile/sim → 422, overload → 429 + Retry-After, deadline →
+// 504, internal → 500). With a peer list configured, daemons split the
+// program key space by consistent hashing: a request owned by another
+// peer is answered with 307 + Location so any client reaches the right
+// shard even without doing its own routing.
+package cashd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"spatial/api"
+	"spatial/internal/core"
+	"spatial/internal/dataflow"
+	"spatial/internal/serve"
+)
+
+// maxBodyBytes bounds request bodies; programs are text, a megabyte of
+// cMinor is enormous.
+const maxBodyBytes = 4 << 20
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine configures the wrapped batch engine (workers, queue,
+	// cache bound, persistent cache directory).
+	Engine serve.Config
+	// Self is this daemon's advertised base URL (e.g.
+	// "http://10.0.0.3:8080"); required when Peers is set, and must
+	// appear in Peers.
+	Self string
+	// Peers is the full shard set (including Self) as base URLs. Empty
+	// means unsharded: this daemon owns the whole key space.
+	Peers []string
+	// MaxTraces bounds the recorded traces held for download; 0 means 32.
+	MaxTraces int
+}
+
+// Server is the daemon: an http.Handler plus the engine it wraps.
+type Server struct {
+	eng    *serve.Engine
+	ring   *api.Ring
+	self   string
+	mux    *http.ServeMux
+	met    *metrics
+	traces *traceStore
+}
+
+// New builds a server. It fails on an unusable cache directory or an
+// inconsistent shard configuration.
+func New(cfg Config) (*Server, error) {
+	ring := api.NewRing(cfg.Peers, 0)
+	if ring != nil {
+		if cfg.Self == "" {
+			return nil, fmt.Errorf("cashd: peers configured without self")
+		}
+		found := false
+		for _, p := range ring.Nodes() {
+			if p == cfg.Self {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cashd: self %q not in peers %v", cfg.Self, ring.Nodes())
+		}
+	}
+	eng, err := serve.New(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = 32
+	}
+	s := &Server{
+		eng:    eng,
+		ring:   ring,
+		self:   cfg.Self,
+		met:    newMetrics(),
+		traces: newTraceStore(cfg.MaxTraces),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /"+api.Version+"/compile", s.instrument("compile", s.handleCompile))
+	mux.HandleFunc("POST /"+api.Version+"/run", s.instrument("run", s.handleRun))
+	mux.HandleFunc("POST /"+api.Version+"/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("GET /"+api.Version+"/trace/{id}", s.instrument("trace", s.handleTrace))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine exposes the wrapped batch engine (stats, direct submission in
+// tests and the in-process load harness).
+func (s *Server) Engine() *serve.Engine { return s.eng }
+
+// Close drains and stops the engine. In-flight HTTP requests should be
+// drained first (http.Server.Shutdown).
+func (s *Server) Close() { s.eng.Close() }
+
+// instrument wraps a handler with the request counter and status capture.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		s.met.countRequest(endpoint, sw.status())
+	}
+}
+
+// statusWriter captures the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// decode reads a strict JSON body into v: unknown fields and trailing
+// garbage are bad requests — a versioned API that silently drops fields
+// would hide client bugs until they ship.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// writeJSON writes a 200 response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// overloadRetryAfter is the backoff hint handed to shed clients.
+const overloadRetryAfter = 100 * time.Millisecond
+
+// writeError writes a typed error body with its class's status. 429
+// responses also carry Retry-After (seconds, ceiling) for generic
+// HTTP clients.
+func writeError(w http.ResponseWriter, e *api.Error) {
+	status := e.Class.HTTPStatus()
+	e.Status = status
+	w.Header().Set("Content-Type", "application/json")
+	if e.Class == api.ClassOverload {
+		if e.RetryAfterMS <= 0 {
+			e.RetryAfterMS = overloadRetryAfter.Milliseconds()
+		}
+		secs := (e.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(e)
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeError(w, &api.Error{Class: api.ClassBadRequest, Message: fmt.Sprintf(format, args...)})
+}
+
+// errorFor classifies an engine/library failure into its wire class.
+// Order matters: deadline conditions ride inside ErrSim-classed errors
+// (the simulator aborts with dataflow.ErrCanceled when its context
+// dies), so they are peeled off first.
+func errorFor(err error) *api.Error {
+	e := &api.Error{Message: err.Error()}
+	switch {
+	case errors.Is(err, serve.ErrOverload):
+		e.Class = api.ClassOverload
+	case errors.Is(err, serve.ErrClosed):
+		e.Class = api.ClassClosed
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, dataflow.ErrCanceled):
+		e.Class = api.ClassDeadline
+	case errors.Is(err, core.ErrCompile):
+		e.Class = api.ClassCompile
+	case errors.Is(err, core.ErrSim):
+		e.Class = api.ClassSim
+		// Attach the structured diagnosis when one exists; the first
+		// line of a StuckReport names the cycle or the missing producer.
+		var dead *dataflow.DeadlockError
+		var live *dataflow.LivelockError
+		if errors.As(err, &dead) {
+			e.Report = dead.Report.Render()
+		} else if errors.As(err, &live) {
+			e.Report = live.Report.Render()
+		}
+	default:
+		e.Class = api.ClassInternal
+	}
+	return e
+}
+
+// redirectIfNotOwner applies shard routing: when a peer ring is
+// configured and the program's key hashes to another daemon, the
+// request is answered with 307 + Location (method and body are
+// preserved by compliant clients; the Go client re-sends via GetBody).
+// Returns true when the request was redirected.
+func (s *Server) redirectIfNotOwner(w http.ResponseWriter, r *http.Request, p api.Program) bool {
+	if s.ring == nil {
+		return false
+	}
+	owner := s.ring.Owner(p.Key())
+	if owner == s.self {
+		return false
+	}
+	target := strings.TrimSuffix(owner, "/") + r.URL.Path
+	w.Header().Set("X-Cashd-Owner", owner)
+	http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+	return true
+}
+
+// toServeRequest lifts a wire run request into the engine's form.
+func toServeRequest(rr api.RunRequest) serve.Request {
+	return serve.Request{
+		Program:  rr.Program,
+		Entry:    rr.Entry,
+		Args:     rr.Args,
+		Deadline: time.Duration(rr.TimeoutMS) * time.Millisecond,
+	}
+}
+
+func toWireStats(st dataflow.Stats) api.Stats {
+	return api.Stats{
+		Cycles:    st.Cycles,
+		Events:    st.Events,
+		OpsFired:  st.OpsFired,
+		DynLoads:  st.DynLoads,
+		DynStores: st.DynStores,
+		NullMem:   st.NullMem,
+		Calls:     st.Calls,
+	}
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req api.CompileRequest
+	if err := decode(r, &req); err != nil {
+		badRequest(w, "compile: %v", err)
+		return
+	}
+	if req.Source == "" {
+		badRequest(w, "compile: empty source")
+		return
+	}
+	if s.redirectIfNotOwner(w, r, req) {
+		return
+	}
+	start := time.Now()
+	_, hit, err := s.eng.Resolve(r.Context(), serve.Request{Program: req})
+	if err != nil {
+		writeError(w, errorFor(err))
+		return
+	}
+	if !hit {
+		s.met.compile.observe(time.Since(start))
+	}
+	writeJSON(w, api.CompileResponse{Key: req.Key().String(), CacheHit: hit})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req api.RunRequest
+	if err := decode(r, &req); err != nil {
+		badRequest(w, "run: %v", err)
+		return
+	}
+	if req.Source == "" {
+		badRequest(w, "run: empty source")
+		return
+	}
+	if s.redirectIfNotOwner(w, r, req.Program) {
+		return
+	}
+	if req.Trace {
+		s.handleTracedRun(w, r, req)
+		return
+	}
+	start := time.Now()
+	resp, err := s.eng.Do(r.Context(), toServeRequest(req))
+	if err != nil {
+		writeError(w, errorFor(err))
+		return
+	}
+	s.met.run.observe(time.Since(start))
+	writeJSON(w, api.RunResponse{
+		Value:    resp.Value,
+		Stats:    toWireStats(resp.Stats),
+		CacheHit: resp.CacheHit,
+		WaitNS:   resp.Wait.Nanoseconds(),
+		TotalNS:  resp.Total.Nanoseconds(),
+	})
+}
+
+// handleTracedRun serves a run with trace recording. Traced runs are a
+// diagnostic path: they execute on the handler goroutine (bypassing the
+// worker pool, so a trace request cannot be shed) and do not honor
+// TimeoutMS beyond the engine's own cycle budget.
+func (s *Server) handleTracedRun(w http.ResponseWriter, r *http.Request, req api.RunRequest) {
+	start := time.Now()
+	cp, hit, err := s.eng.Resolve(r.Context(), toServeRequest(req))
+	if err != nil {
+		writeError(w, errorFor(err))
+		return
+	}
+	entry := req.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	res, tr, err := cp.RunTraced(entry, req.Args)
+	if err != nil {
+		writeError(w, errorFor(err))
+		return
+	}
+	id := s.traces.add(tr)
+	s.met.run.observe(time.Since(start))
+	total := time.Since(start)
+	writeJSON(w, api.RunResponse{
+		Value:    res.Value,
+		Stats:    toWireStats(res.Stats),
+		CacheHit: hit,
+		TotalNS:  total.Nanoseconds(),
+		TraceID:  id,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	if err := decode(r, &req); err != nil {
+		badRequest(w, "batch: %v", err)
+		return
+	}
+	if len(req.Runs) == 0 {
+		badRequest(w, "batch: empty runs")
+		return
+	}
+	reqs := make([]serve.Request, len(req.Runs))
+	for i, rr := range req.Runs {
+		if rr.Source == "" {
+			badRequest(w, "batch: runs[%d]: empty source", i)
+			return
+		}
+		if rr.Trace {
+			badRequest(w, "batch: runs[%d]: trace is not supported in batches; use /%s/run", i, api.Version)
+			return
+		}
+		reqs[i] = toServeRequest(rr)
+	}
+	// No shard redirect here: a batch may mix owners, and the engine can
+	// serve any program. Routing-aware clients split batches per owner.
+	start := time.Now()
+	results := s.eng.DoBatch(r.Context(), reqs)
+	s.met.run.observe(time.Since(start))
+	out := api.BatchResponse{Results: make([]api.BatchItem, len(results))}
+	for i, br := range results {
+		if br.Err != nil {
+			e := errorFor(br.Err)
+			e.Status = e.Class.HTTPStatus()
+			out.Results[i] = api.BatchItem{Err: e}
+			continue
+		}
+		out.Results[i] = api.BatchItem{Run: &api.RunResponse{
+			Value:    br.Resp.Value,
+			Stats:    toWireStats(br.Resp.Stats),
+			CacheHit: br.Resp.CacheHit,
+			WaitNS:   br.Resp.Wait.Nanoseconds(),
+			TotalNS:  br.Resp.Total.Nanoseconds(),
+		}}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr := s.traces.get(id)
+	if tr == nil {
+		writeError(w, &api.Error{Class: api.ClassNotFound, Message: fmt.Sprintf("no trace %q (traces are held in a bounded in-memory store)", id)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "trace-"+id+".json"))
+	_ = tr.WriteChrome(w)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, s.eng.Stats(), s.traces.len())
+}

@@ -1,0 +1,57 @@
+package cashd
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+
+	"spatial/internal/core"
+)
+
+// traceStore holds recorded run traces for download, bounded FIFO: a
+// trace is a diagnostic artifact, not durable state, so the oldest is
+// dropped when the bound is hit. IDs are random (not sequential) so a
+// trace URL cannot be guessed from another's.
+type traceStore struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // of string (ids), front = oldest
+	byID  map[string]*core.Trace
+}
+
+func newTraceStore(max int) *traceStore {
+	return &traceStore{
+		max:   max,
+		order: list.New(),
+		byID:  make(map[string]*core.Trace),
+	}
+}
+
+func (ts *traceStore) add(tr *core.Trace) string {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	id := hex.EncodeToString(b[:])
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.byID[id] = tr
+	ts.order.PushBack(id)
+	for ts.order.Len() > ts.max {
+		front := ts.order.Front()
+		delete(ts.byID, front.Value.(string))
+		ts.order.Remove(front)
+	}
+	return id
+}
+
+func (ts *traceStore) get(id string) *core.Trace {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.byID[id]
+}
+
+func (ts *traceStore) len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.order.Len()
+}

@@ -12,8 +12,8 @@
 // graphs; Run executes it on the self-timed dataflow simulator (spatial
 // computation), RunSequential on the in-order interpreter baseline.
 // Compilation is configured with functional options — WithLevel,
-// WithPasses, WithMemory — and the legacy Options struct keeps working as
-// a deprecated shim.
+// WithPasses, WithMemory. (The legacy struct-style Options shim is gone;
+// pass WithLevel directly.)
 package core
 
 import (
@@ -84,26 +84,6 @@ func WithTrace(tc TraceConfig) Option {
 // bound; the cycle budget (SimConfig.MaxCycles) still applies.
 func WithDeadline(d time.Duration) Option {
 	return optionFunc(func(c *config) { c.deadline = d })
-}
-
-// Options configures compilation.
-//
-// Deprecated: Options is the legacy struct-style configuration, kept so
-// existing call sites compile; it implements Option. New code should pass
-// WithLevel / WithPasses / WithMemory directly.
-type Options struct {
-	// Level selects the optimization preset; use Passes to override
-	// individual passes instead.
-	Level opt.Level
-	// Passes, when non-nil, overrides Level with per-pass toggles.
-	Passes *opt.Options
-}
-
-func (o Options) apply(c *config) {
-	c.level = o.Level
-	if o.Passes != nil {
-		c.passes = o.Passes
-	}
 }
 
 // Compiled is a fully compiled program.

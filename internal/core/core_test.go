@@ -19,7 +19,7 @@ int process(int n) {
 }`
 
 func TestCompileAndRun(t *testing.T) {
-	cp, err := CompileSource(demo, Options{Level: opt.Full})
+	cp, err := CompileSource(demo, WithLevel(opt.Full))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,10 +40,10 @@ func TestCompileAndRun(t *testing.T) {
 }
 
 func TestCompileErrors(t *testing.T) {
-	if _, err := CompileSource("int f( {", Options{}); err == nil {
+	if _, err := CompileSource("int f( {"); err == nil {
 		t.Error("parse error not reported")
 	}
-	if _, err := CompileSource("int f(void) { return g; }", Options{}); err == nil {
+	if _, err := CompileSource("int f(void) { return g; }"); err == nil {
 		t.Error("check error not reported")
 	}
 }
@@ -52,7 +52,7 @@ func TestCustomPasses(t *testing.T) {
 	passes := opt.LevelOptions(opt.Full)
 	passes.LoadAfterStore = false
 	cp, err := CompileSource(`int g; int f(int x) { g = x; return g; }`,
-		Options{Passes: &passes})
+		WithPasses(passes))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestCustomPasses(t *testing.T) {
 }
 
 func TestDumpAndDot(t *testing.T) {
-	cp, err := CompileSource(demo, Options{Level: opt.Medium})
+	cp, err := CompileSource(demo, WithLevel(opt.Medium))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestDumpAndDot(t *testing.T) {
 }
 
 func TestRunWithMemoryConfigs(t *testing.T) {
-	cp, err := CompileSource(demo, Options{Level: opt.Full})
+	cp, err := CompileSource(demo, WithLevel(opt.Full))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestRunWithMemoryConfigs(t *testing.T) {
 }
 
 func TestVerifyPost(t *testing.T) {
-	cp, err := CompileSource(demo, Options{Level: opt.Full})
+	cp, err := CompileSource(demo, WithLevel(opt.Full))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -124,31 +124,31 @@ func TestExamplesAllLevels(t *testing.T) {
 	}
 }
 
-// TestExamplesFunctionalOptions exercises the new option forms against
-// the deprecated struct shim on the same program.
+// TestExamplesFunctionalOptions exercises the option forms on the same
+// program: a level preset must be exactly its expanded pass set.
 func TestExamplesFunctionalOptions(t *testing.T) {
 	p := e2ePrograms[0]
-	newStyle, err := CompileSource(p.src,
+	preset, err := CompileSource(p.src,
 		WithLevel(opt.Full), WithMemory(PaperMemory(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldStyle, err := CompileSource(p.src, Options{Level: opt.Full})
+	expanded, err := CompileSource(p.src, WithPasses(opt.LevelOptions(opt.Full)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := newStyle.Run(p.entry, p.args)
+	a, err := preset.Run(p.entry, p.args)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := oldStyle.Run(p.entry, p.args)
+	b, err := expanded.Run(p.entry, p.args)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Value != b.Value {
-		t.Errorf("functional options %d != struct shim %d", a.Value, b.Value)
+		t.Errorf("level preset %d != expanded pass set %d", a.Value, b.Value)
 	}
-	if newStyle.Sim.Mem == (memsys.Config{}) {
+	if preset.Sim.Mem == (memsys.Config{}) {
 		t.Error("WithMemory not recorded in Compiled.Sim")
 	}
 }

@@ -49,6 +49,7 @@ type BenchReport struct {
 	BenchTime string        `json:"bench_time"`
 	Rows      []BenchRow    `json:"rows"`
 	Parallel  []ParallelRow `json:"parallel,omitempty"`
+	Load      []LoadRow     `json:"load,omitempty"`
 }
 
 // Bench measures simulator throughput for the named workloads at every

@@ -4,9 +4,11 @@ import (
 	"container/list"
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 
+	"spatial/api"
 	"spatial/internal/core"
 )
 
@@ -18,25 +20,41 @@ import (
 // deliberately excluded: they select what to run, not what to build.
 type cacheKey [sha256.Size]byte
 
-// key computes the request's content address. The simulator
-// configuration is normalized first, so two requests whose configs
-// differ only in defaulted zero fields (e.g. EdgeCap 0 vs 1) share a
-// compilation, while genuinely different configs get distinct keys.
-func (r Request) key() (cacheKey, error) {
-	if err := r.Sim.Validate(); err != nil {
+func (k cacheKey) String() string { return hex.EncodeToString(k[:]) }
+
+// programKey computes a wire program's content address. The simulator
+// configuration is converted to its internal form and normalized first,
+// so two requests whose configs differ only in defaulted zero fields
+// (e.g. EdgeCap 0 vs 1) share a compilation, while genuinely different
+// configs get distinct keys. This key addresses the (in-memory and
+// on-disk) compile cache; the coarser api.Program.Key, computed on the
+// raw wire form, routes between shards.
+func programKey(p api.Program) (cacheKey, error) {
+	level, err := levelOf(p.Level)
+	if err != nil {
+		return cacheKey{}, err
+	}
+	sim, err := simOf(p.Sim)
+	if err != nil {
+		return cacheKey{}, err
+	}
+	if err := sim.Validate(); err != nil {
 		return cacheKey{}, err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "v1\x00level=%d\x00", r.Level)
-	if r.Passes != nil {
-		fmt.Fprintf(h, "passes=%#v\x00", *r.Passes)
+	fmt.Fprintf(h, "v1\x00level=%d\x00", level)
+	if ps := passesOf(p.Passes); ps != nil {
+		fmt.Fprintf(h, "passes=%#v\x00", *ps)
 	}
-	fmt.Fprintf(h, "sim=%#v\x00src=%d\x00", r.Sim.Normalized(), len(r.Source))
-	io.WriteString(h, r.Source)
+	fmt.Fprintf(h, "sim=%#v\x00src=%d\x00", sim.Normalized(), len(p.Source))
+	io.WriteString(h, p.Source)
 	var k cacheKey
 	h.Sum(k[:0])
 	return k, nil
 }
+
+// key computes the request's content address (compile-time fields only).
+func (r Request) key() (cacheKey, error) { return programKey(r.Program) }
 
 // cacheEntry is one cache slot. ready is closed when the leader finishes
 // compiling; cp/err must only be read after ready is closed. elem is the
@@ -93,22 +111,49 @@ func (c *compileCache) lookup(key cacheKey) (ent *cacheEntry, leader bool) {
 // finish publishes the leader's result: successes enter the LRU (evicting
 // the coldest ready entries past max), failures leave the cache so a
 // later identical request recompiles. Must be called with the engine
-// mutex held; closing ready releases the waiters.
-func (c *compileCache) finish(ent *cacheEntry, cp *core.Compiled, err error) {
+// mutex held; closing ready releases the waiters. The returned keys are
+// the entries evicted by the LRU bound, so the caller can prune the
+// disk store outside the lock.
+func (c *compileCache) finish(ent *cacheEntry, cp *core.Compiled, err error) []cacheKey {
 	ent.cp, ent.err = cp, err
+	var evicted []cacheKey
 	if err != nil {
 		delete(c.entries, ent.key)
 	} else {
 		ent.elem = c.lru.PushFront(ent)
-		for c.lru.Len() > c.max {
-			back := c.lru.Back()
-			old := back.Value.(*cacheEntry)
-			c.lru.Remove(back)
-			delete(c.entries, old.key)
-			c.evictions++
-		}
+		evicted = c.bound()
 	}
 	close(ent.ready)
+	return evicted
+}
+
+// insert adds an already-compiled program as a ready entry (startup
+// warming from the disk store); it bypasses the hit/miss counters so
+// warming does not masquerade as traffic. Must be called with the
+// engine mutex held.
+func (c *compileCache) insert(key cacheKey, cp *core.Compiled) []cacheKey {
+	if _, ok := c.entries[key]; ok {
+		return nil
+	}
+	ent := &cacheEntry{key: key, ready: make(chan struct{}), cp: cp}
+	close(ent.ready)
+	c.entries[key] = ent
+	ent.elem = c.lru.PushFront(ent)
+	return c.bound()
+}
+
+// bound evicts the coldest ready entries past max, returning their keys.
+func (c *compileCache) bound() []cacheKey {
+	var evicted []cacheKey
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		old := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, old.key)
+		c.evictions++
+		evicted = append(evicted, old.key)
+	}
+	return evicted
 }
 
 // wait blocks until the entry's compile finishes or ctx is done.

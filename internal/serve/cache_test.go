@@ -8,9 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"spatial/api"
 	"spatial/internal/core"
-	"spatial/internal/dataflow"
-	"spatial/internal/opt"
 )
 
 const srcAdd = `
@@ -38,7 +37,7 @@ int f(int n) {
 // fields do not key, defaulted simulator configs collapse onto the same
 // key, and every compile-time field change produces a distinct key.
 func TestKeyNormalization(t *testing.T) {
-	base := Request{Source: srcLoop, Level: opt.Full}
+	base := testReq(srcLoop, api.LevelFull, "")
 	k0, err := base.key()
 	if err != nil {
 		t.Fatal(err)
@@ -51,32 +50,25 @@ func TestKeyNormalization(t *testing.T) {
 		t.Error("run-time fields changed the cache key")
 	}
 
-	// A zero Sim and an explicitly defaulted Sim normalize to one key.
+	// A nil Sim and an explicitly present-but-zero Sim normalize to one
+	// key, as does spelling out a default explicitly.
 	r = base
-	r.Sim = dataflow.DefaultConfig()
+	r.Sim = &api.SimConfig{}
 	if k, _ := r.key(); k != k0 {
-		t.Error("zero Sim and DefaultConfig() produced distinct keys")
+		t.Error("nil Sim and empty SimConfig produced distinct keys")
 	}
 	r = base
-	r.Sim.EdgeCap = 1 // the default depth, spelled explicitly
+	r.Sim = &api.SimConfig{EdgeCap: 1} // the default depth, spelled explicitly
 	if k, _ := r.key(); k != k0 {
 		t.Error("EdgeCap 0 and EdgeCap 1 (the default) produced distinct keys")
 	}
 
 	// Genuinely different compile-time fields key differently.
 	distinct := []Request{
-		{Source: srcAdd, Level: opt.Full},
-		{Source: srcLoop, Level: opt.Medium},
-		{Source: srcLoop, Level: opt.Full, Sim: func() dataflow.Config {
-			c := dataflow.DefaultConfig()
-			c.EdgeCap = 8
-			return c
-		}()},
-		{Source: srcLoop, Level: opt.Full, Passes: func() *opt.Options {
-			o := opt.LevelOptions(opt.Full)
-			o.LICM = false
-			return &o
-		}()},
+		testReq(srcAdd, api.LevelFull, ""),
+		testReq(srcLoop, api.LevelMedium, ""),
+		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Sim: &api.SimConfig{EdgeCap: 8}}},
+		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Passes: &api.Passes{ConstFold: true, CSE: true, DCE: true}}},
 	}
 	seen := map[cacheKey]int{k0: -1}
 	for i, r := range distinct {
@@ -90,23 +82,33 @@ func TestKeyNormalization(t *testing.T) {
 		seen[k] = i
 	}
 
-	// Invalid configurations fail keying with a compile-classed error.
+	// Invalid configurations fail keying.
 	r = base
-	r.Sim.EdgeCap = -1
+	r.Sim = &api.SimConfig{EdgeCap: -1}
 	if _, err := r.key(); err == nil {
 		t.Error("negative EdgeCap keyed without error")
+	}
+	r = base
+	r.Level = api.Level(99)
+	if _, err := r.key(); err == nil {
+		t.Error("out-of-range level keyed without error")
+	}
+	r = base
+	r.Sim = &api.SimConfig{Mem: &api.MemConfig{Kind: "quantum"}}
+	if _, err := r.key(); err == nil {
+		t.Error("unknown memory kind keyed without error")
 	}
 }
 
 // TestCacheHitMissEviction drives the LRU through its full lifecycle and
 // checks every counter.
 func TestCacheHitMissEviction(t *testing.T) {
-	e := New(Config{Workers: 1, CacheEntries: 2})
+	e := newEngine(t, Config{Workers: 1, CacheEntries: 2})
 	defer e.Close()
 
 	do := func(src string, args ...int64) int64 {
 		t.Helper()
-		resp, err := e.Do(context.Background(), Request{Source: src, Level: opt.Full, Entry: "f", Args: args})
+		resp, err := e.Do(context.Background(), testReq(src, api.LevelFull, "f", args...))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,11 +136,11 @@ func TestCacheHitMissEviction(t *testing.T) {
 
 	// Recency: a hit refreshes the entry. Touch arr, insert add, loop
 	// must be the eviction victim — arr must still be resident (a hit).
-	e2 := New(Config{Workers: 1, CacheEntries: 2})
+	e2 := newEngine(t, Config{Workers: 1, CacheEntries: 2})
 	defer e2.Close()
 	do2 := func(src string, args ...int64) {
 		t.Helper()
-		if _, err := e2.Do(context.Background(), Request{Source: src, Level: opt.Full, Entry: "f", Args: args}); err != nil {
+		if _, err := e2.Do(context.Background(), testReq(src, api.LevelFull, "f", args...)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -158,7 +160,7 @@ func TestCacheHitMissEviction(t *testing.T) {
 // request gets the result.
 func TestSingleFlight(t *testing.T) {
 	const callers = 8
-	e := New(Config{Workers: callers, QueueDepth: callers, CacheEntries: 4})
+	e := newEngine(t, Config{Workers: callers, QueueDepth: callers, CacheEntries: 4})
 	defer e.Close()
 
 	var compiles atomic.Int64
@@ -169,7 +171,7 @@ func TestSingleFlight(t *testing.T) {
 		return compileRequest(r)
 	}
 
-	req := Request{Source: srcLoop, Level: opt.Full, Entry: "f", Args: []int64{10}}
+	req := testReq(srcLoop, api.LevelFull, "f", 10)
 	var wg sync.WaitGroup
 	results := make([]int64, callers)
 	errs := make([]error, callers)
@@ -219,7 +221,7 @@ func TestSingleFlight(t *testing.T) {
 // of the flight but are not memoized: a later identical request
 // recompiles.
 func TestCompileErrorNotCached(t *testing.T) {
-	e := New(Config{Workers: 2, CacheEntries: 4})
+	e := newEngine(t, Config{Workers: 2, CacheEntries: 4})
 	defer e.Close()
 
 	var compiles atomic.Int64
@@ -228,7 +230,7 @@ func TestCompileErrorNotCached(t *testing.T) {
 		return compileRequest(r)
 	}
 
-	bad := Request{Source: "int f(void) { return", Level: opt.Full, Entry: "f"}
+	bad := testReq("int f(void) { return", api.LevelFull, "f")
 	for i := 0; i < 2; i++ {
 		_, err := e.Do(context.Background(), bad)
 		if !errors.Is(err, core.ErrCompile) {

@@ -1,0 +1,23 @@
+package serve
+
+import (
+	"testing"
+
+	"spatial/api"
+)
+
+// newEngine builds an engine or fails the test; the error path of New
+// only triggers on an unusable cache directory.
+func newEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// testReq builds a request in the wire form.
+func testReq(src string, level api.Level, entry string, args ...int64) Request {
+	return Request{Program: api.Program{Source: src, Level: level}, Entry: entry, Args: args}
+}

@@ -32,9 +32,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spatial/api"
 	"spatial/internal/core"
 	"spatial/internal/dataflow"
-	"spatial/internal/opt"
 )
 
 // Errors returned by the engine itself (run and compile failures come
@@ -59,6 +59,13 @@ type Config struct {
 	// CacheEntries bounds the compile cache (distinct compiled programs
 	// kept); 0 means 64.
 	CacheEntries int
+	// CacheDir, when non-empty, persists the compile cache to this
+	// directory: every successful compile is written through (as its
+	// wire-form inputs), hits refresh recency, evictions delete, and New
+	// reloads — recompiling — the most recent CacheEntries programs so a
+	// restarted engine answers its first request for a known program
+	// with a cache hit. Empty means in-memory only.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -74,20 +81,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Request is one simulation to execute: a program (compile-time fields,
-// which form the cache key) and an invocation (run-time fields, which do
-// not).
+// Request is one simulation to execute: a wire-form program
+// (compile-time fields, which form the cache key) and an invocation
+// (run-time fields, which do not).
+//
+// The compile-time half is api.Program — the same versioned wire type
+// the cashd daemon decodes off the network — so the in-process and
+// network paths serve one contract. The run-time half mirrors
+// api.RunRequest (Entry/Args/TimeoutMS), with the timeout already
+// lifted to a time.Duration.
+//
+// NOTE: TestRequestFieldInventory pins this struct's field set against
+// the cache-key function; adding a field here requires deciding —
+// there — whether it keys the cache.
 type Request struct {
-	// Source is the cMinor program text.
-	Source string
-	// Level selects the optimization preset.
-	Level opt.Level
-	// Passes, when non-nil, overrides Level with explicit toggles.
-	Passes *opt.Options
-	// Sim is the simulator configuration; the zero value means defaults.
-	// It is normalized before keying, so configs differing only in
-	// defaulted fields share a cache entry.
-	Sim dataflow.Config
+	// Program is the compile-time half: source, level, pass toggles,
+	// simulator configuration. Its wire sim config is converted and
+	// normalized before keying, so configs differing only in defaulted
+	// fields share a cache entry.
+	api.Program
 
 	// Entry is the function to run ("main" when empty).
 	Entry string
@@ -122,6 +134,10 @@ type Stats struct {
 	CacheMisses    uint64 // lookups that had to compile
 	CacheEvictions uint64 // ready entries evicted by the LRU bound
 	CacheEntries   int    // entries currently resident
+
+	QueueLen   int // requests waiting for a worker right now
+	QueueCap   int // admission queue bound (Config.QueueDepth)
+	DiskLoaded int // entries warmed from CacheDir at startup
 }
 
 // HitRate returns the fraction of lookups that avoided a compile.
@@ -156,6 +172,11 @@ type Engine struct {
 	mu    sync.Mutex // guards cache
 	cache *compileCache
 
+	// disk is the persistent cache store; nil without Config.CacheDir.
+	// All disk operations happen outside e.mu and are best-effort.
+	disk       *diskStore
+	diskLoaded int
+
 	// compileFn builds a Compiled for a request; tests swap it to count
 	// and instrument pipeline executions.
 	compileFn func(Request) (*core.Compiled, error)
@@ -169,8 +190,13 @@ type Engine struct {
 	wg      sync.WaitGroup
 }
 
-// New starts an engine with cfg's worker pool and cache.
-func New(cfg Config) *Engine {
+// New starts an engine with cfg's worker pool and cache. With
+// Config.CacheDir set it also opens the persistent store and warms the
+// in-memory cache by recompiling the most recently used persisted
+// programs (newest kept, LRU bound enforced across the restart); a
+// persisted program the current compiler rejects is dropped from disk.
+// New fails only on an unusable cache directory.
+func New(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	e := &Engine{
 		cfg:       cfg,
@@ -178,22 +204,36 @@ func New(cfg Config) *Engine {
 		cache:     newCompileCache(cfg.CacheEntries),
 		compileFn: compileRequest,
 	}
+	if cfg.CacheDir != "" {
+		d, err := openDiskStore(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.disk = d
+		for _, ent := range d.load(cfg.CacheEntries) {
+			cp, err := e.compileFn(Request{Program: ent.prog})
+			if err != nil {
+				d.remove(ent.key)
+				continue
+			}
+			e.cache.insert(ent.key, cp)
+			e.diskLoaded++
+		}
+	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
 	}
-	return e
+	return e, nil
 }
 
 // compileRequest runs the full pipeline for a request's compile-time
-// fields.
+// fields, converting the wire program through the one api→internal
+// mapping (wire.go).
 func compileRequest(r Request) (*core.Compiled, error) {
-	opts := []core.Option{core.WithLevel(r.Level)}
-	if r.Passes != nil {
-		opts = append(opts, core.WithPasses(*r.Passes))
-	}
-	if r.Sim != (dataflow.Config{}) {
-		opts = append(opts, core.WithSim(r.Sim))
+	opts, err := coreOptions(r.Program)
+	if err != nil {
+		return nil, core.Classified(core.ErrCompile, err)
 	}
 	return core.CompileSource(r.Source, opts...)
 }
@@ -316,7 +356,7 @@ func (e *Engine) process(j *job) (*Response, error) {
 		// Abandoned while queued (deadline or caller cancellation).
 		return nil, err
 	}
-	cp, hit, err := e.compiled(j.ctx, j.req)
+	cp, hit, err := e.Resolve(j.ctx, j.req)
 	if err != nil {
 		return nil, err
 	}
@@ -337,10 +377,14 @@ func (e *Engine) process(j *job) (*Response, error) {
 	}, nil
 }
 
-// compiled resolves the request's program through the cache. The second
+// Resolve resolves the request's program through the compile cache
+// without running it: it returns the immutable compiled program,
+// compiling (and write-through persisting) it if absent. The second
 // result reports whether the compilation was shared (a ready entry or a
-// joined flight) rather than performed by this call.
-func (e *Engine) compiled(ctx context.Context, req Request) (*core.Compiled, bool, error) {
+// joined flight) rather than performed by this call. Resolve is what
+// the daemon's /v1/compile endpoint and traced runs use; Do and DoBatch
+// resolve through it on a worker.
+func (e *Engine) Resolve(ctx context.Context, req Request) (*core.Compiled, bool, error) {
 	key, err := req.key()
 	if err != nil {
 		return nil, false, core.Classified(core.ErrCompile, err)
@@ -351,11 +395,22 @@ func (e *Engine) compiled(ctx context.Context, req Request) (*core.Compiled, boo
 	if leader {
 		cp, cerr := e.compileFn(req)
 		e.mu.Lock()
-		e.cache.finish(ent, cp, cerr)
+		evicted := e.cache.finish(ent, cp, cerr)
 		e.mu.Unlock()
+		if e.disk != nil {
+			if cerr == nil {
+				_ = e.disk.put(key, req.Program) // best-effort: disk loss = cold cache
+			}
+			for _, k := range evicted {
+				e.disk.remove(k)
+			}
+		}
 		return cp, false, cerr
 	}
 	cp, werr := ent.wait(ctx)
+	if werr == nil && e.disk != nil {
+		e.disk.touch(key)
+	}
 	return cp, true, werr
 }
 
@@ -368,10 +423,13 @@ func (e *Engine) Stats() Stats {
 		CacheMisses:    e.cache.misses,
 		CacheEvictions: e.cache.evictions,
 		CacheEntries:   e.cache.lru.Len(),
+		DiskLoaded:     e.diskLoaded,
 	}
 	e.mu.Unlock()
 	s.Completed = e.completed.Load()
 	s.Failed = e.failed.Load()
 	s.Rejected = e.rejected.Load()
+	s.QueueLen = len(e.queue)
+	s.QueueCap = e.cfg.QueueDepth
 	return s
 }

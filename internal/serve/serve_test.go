@@ -8,14 +8,14 @@ import (
 	"testing"
 	"time"
 
+	"spatial/api"
 	"spatial/internal/core"
-	"spatial/internal/opt"
 )
 
 // TestOverloadBackpressure fills the pool and the queue, then verifies
 // the next request is shed with ErrOverload instead of waiting.
 func TestOverloadBackpressure(t *testing.T) {
-	e := New(Config{Workers: 1, QueueDepth: 1, CacheEntries: 4})
+	e := newEngine(t, Config{Workers: 1, QueueDepth: 1, CacheEntries: 4})
 	defer e.Close()
 
 	gate := make(chan struct{})
@@ -25,7 +25,7 @@ func TestOverloadBackpressure(t *testing.T) {
 		return compileRequest(r)
 	}
 
-	req := Request{Source: srcLoop, Level: opt.Full, Entry: "f", Args: []int64{10}}
+	req := testReq(srcLoop, api.LevelFull, "f", 10)
 	first := make(chan error, 1)
 	go func() {
 		_, err := e.Do(context.Background(), req)
@@ -66,7 +66,7 @@ func TestOverloadBackpressure(t *testing.T) {
 // TestDeadline verifies a per-request deadline aborts a long run through
 // the existing RunCtx cancellation path.
 func TestDeadline(t *testing.T) {
-	e := New(Config{Workers: 1, CacheEntries: 4})
+	e := newEngine(t, Config{Workers: 1, CacheEntries: 4})
 	defer e.Close()
 
 	// ~10^8 iterations: far longer than a microsecond deadline.
@@ -76,7 +76,9 @@ int f(void) {
   for (i = 0; i < 100000000; i++) s += i;
   return s;
 }`
-	_, err := e.Do(context.Background(), Request{Source: slow, Level: opt.None, Entry: "f", Deadline: time.Microsecond})
+	req := testReq(slow, api.LevelNone, "f")
+	req.Deadline = time.Microsecond
+	_, err := e.Do(context.Background(), req)
 	if err == nil {
 		t.Fatal("expected a deadline error")
 	}
@@ -88,12 +90,12 @@ int f(void) {
 // TestDoBatch checks order preservation and per-item results, with the
 // batch larger than the queue (blocking admission).
 func TestDoBatch(t *testing.T) {
-	e := New(Config{Workers: 2, QueueDepth: 2, CacheEntries: 4})
+	e := newEngine(t, Config{Workers: 2, QueueDepth: 2, CacheEntries: 4})
 	defer e.Close()
 
 	reqs := make([]Request, 9)
 	for i := range reqs {
-		reqs[i] = Request{Source: srcAdd, Level: opt.Full, Entry: "f", Args: []int64{int64(i), 100}}
+		reqs[i] = testReq(srcAdd, api.LevelFull, "f", int64(i), 100)
 	}
 	out := e.DoBatch(context.Background(), reqs)
 	if len(out) != len(reqs) {
@@ -118,13 +120,13 @@ func TestDoBatch(t *testing.T) {
 // serial reference — the service-level version of the simulator's
 // determinism contract. Run under -race in CI.
 func TestParallelDeterminism(t *testing.T) {
-	e := New(Config{Workers: 4, QueueDepth: 64, CacheEntries: 8})
+	e := newEngine(t, Config{Workers: 4, QueueDepth: 64, CacheEntries: 8})
 	defer e.Close()
 
 	mix := []Request{
-		{Source: srcLoop, Level: opt.Full, Entry: "f", Args: []int64{10}},
-		{Source: srcArr, Level: opt.Full, Entry: "f", Args: []int64{3}},
-		{Source: srcLoop, Level: opt.Medium, Entry: "f", Args: []int64{10}},
+		testReq(srcLoop, api.LevelFull, "f", 10),
+		testReq(srcArr, api.LevelFull, "f", 3),
+		testReq(srcLoop, api.LevelMedium, "f", 10),
 	}
 	refs := make([]*Response, len(mix))
 	for i, r := range mix {
@@ -177,10 +179,10 @@ func TestParallelDeterminism(t *testing.T) {
 // TestClosed verifies post-Close submissions fail fast and Close is
 // idempotent.
 func TestClosed(t *testing.T) {
-	e := New(Config{Workers: 1})
+	e := newEngine(t, Config{Workers: 1})
 	e.Close()
 	e.Close()
-	if _, err := e.Do(context.Background(), Request{Source: srcAdd, Entry: "f", Args: []int64{1, 2}}); !errors.Is(err, ErrClosed) {
+	if _, err := e.Do(context.Background(), testReq(srcAdd, api.LevelNone, "f", 1, 2)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }
@@ -188,7 +190,7 @@ func TestClosed(t *testing.T) {
 // TestCanceledWhileQueued verifies a job abandoned by its caller is
 // dropped by the worker rather than run.
 func TestCanceledWhileQueued(t *testing.T) {
-	e := New(Config{Workers: 1, QueueDepth: 2, CacheEntries: 4})
+	e := newEngine(t, Config{Workers: 1, QueueDepth: 2, CacheEntries: 4})
 	defer e.Close()
 
 	gate := make(chan struct{})
@@ -198,7 +200,7 @@ func TestCanceledWhileQueued(t *testing.T) {
 		return compileRequest(r)
 	}
 
-	req := Request{Source: srcLoop, Level: opt.Full, Entry: "f", Args: []int64{10}}
+	req := testReq(srcLoop, api.LevelFull, "f", 10)
 	first := make(chan error, 1)
 	go func() {
 		_, err := e.Do(context.Background(), req)

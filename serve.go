@@ -3,21 +3,30 @@ package spatial
 import (
 	"context"
 
+	"spatial/api"
 	"spatial/internal/serve"
 )
 
 // Engine is the batch simulation service: a content-addressed compile
-// cache (bounded LRU with single-flight) in front of a fixed worker
-// pool with a bounded admission queue. Create one with NewEngine,
-// submit with Do or DoBatch from any number of goroutines, and Close it
-// when done. See internal/serve and DESIGN.md "Concurrency model".
+// cache (bounded LRU with single-flight, optionally persisted to disk)
+// in front of a fixed worker pool with a bounded admission queue.
+// Create one with NewEngine, submit with Do or DoBatch from any number
+// of goroutines, and Close it when done. See internal/serve and
+// DESIGN.md "Concurrency model" / "Service layer".
 type Engine = serve.Engine
 
 // EngineConfig parameterizes NewEngine; the zero value selects
-// defaults (GOMAXPROCS workers, 4x queue depth, 64 cache entries).
+// defaults (GOMAXPROCS workers, 4x queue depth, 64 cache entries,
+// in-memory cache). Set CacheDir to persist the compile cache across
+// restarts.
 type EngineConfig = serve.Config
 
-// BatchRequest is one simulation to execute: compile-time fields form
+// Program is the versioned wire form of a program's compile-time
+// configuration (source, level, pass toggles, simulator config) — the
+// same type the cashd daemon serves over HTTP (see package spatial/api).
+type Program = api.Program
+
+// BatchRequest is one simulation to execute: the embedded Program forms
 // the cache key, run-time fields (Entry, Args, Deadline) do not.
 type BatchRequest = serve.Request
 
@@ -29,7 +38,7 @@ type BatchResponse = serve.Response
 type BatchResult = serve.BatchResult
 
 // EngineStats is a snapshot of an engine's counters (runs, cache
-// hits/misses/evictions, rejections).
+// hits/misses/evictions, rejections, queue occupancy).
 type EngineStats = serve.Stats
 
 // Engine-level errors; compile and run failures come back classified
@@ -42,13 +51,28 @@ var (
 	ErrEngineClosed = serve.ErrClosed
 )
 
-// NewEngine starts a batch simulation engine.
-func NewEngine(cfg EngineConfig) *Engine { return serve.New(cfg) }
+// NewEngine starts a batch simulation engine. It fails only when
+// EngineConfig.CacheDir names an unusable directory.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return serve.New(cfg) }
 
 // Simulate is the one-shot convenience for a single request on a
-// temporary engine; for repeated or concurrent use, keep an Engine.
-func Simulate(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
-	e := serve.New(serve.Config{})
+// temporary engine, optionally configured by cfg (at most one; extras
+// are ignored beyond the first).
+//
+// Each call builds and tears down a fresh engine, so nothing is shared
+// between calls — in particular the compile cache starts empty every
+// time, and two Simulate calls for the same program compile it twice.
+// For repeated or concurrent use, keep an Engine (or set
+// EngineConfig.CacheDir so at least the persisted cache carries over).
+func Simulate(ctx context.Context, req BatchRequest, cfg ...EngineConfig) (*BatchResponse, error) {
+	var c EngineConfig
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	e, err := serve.New(c)
+	if err != nil {
+		return nil, err
+	}
 	defer e.Close()
 	return e.Do(ctx, req)
 }

@@ -5,12 +5,17 @@ import (
 	"testing"
 
 	"spatial"
+	"spatial/api"
 )
 
 // TestPublicEngine exercises the batch service through the root facade:
-// an engine, a cache-hitting request mix, and the one-shot helper.
+// an engine, a cache-hitting request mix, the one-shot helper, and its
+// optional configuration.
 func TestPublicEngine(t *testing.T) {
-	e := spatial.NewEngine(spatial.EngineConfig{Workers: 2, CacheEntries: 4})
+	e, err := spatial.NewEngine(spatial.EngineConfig{Workers: 2, CacheEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer e.Close()
 
 	const src = `
@@ -19,7 +24,11 @@ int f(int n) {
   for (i = 0; i < n; i++) s += i;
   return s;
 }`
-	req := spatial.BatchRequest{Source: src, Level: spatial.OptFull, Entry: "f", Args: []int64{10}}
+	req := spatial.BatchRequest{
+		Program: spatial.Program{Source: src, Level: api.LevelFull},
+		Entry:   "f",
+		Args:    []int64{10},
+	}
 	first, err := e.Do(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
@@ -48,6 +57,11 @@ int f(int n) {
 	}
 
 	if _, err := spatial.Simulate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	// The optional config variant: a single worker still serves the
+	// request (a fresh engine per call, so no cache carry-over).
+	if _, err := spatial.Simulate(context.Background(), req, spatial.EngineConfig{Workers: 1}); err != nil {
 		t.Fatal(err)
 	}
 }

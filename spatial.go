@@ -32,13 +32,6 @@ import (
 // Option configures Compile (see core.Option).
 type Option = core.Option
 
-// Options is the deprecated struct-style configuration; it implements
-// Option so legacy call sites keep compiling. Prefer WithLevel /
-// WithPasses / WithMemory.
-//
-// Deprecated: use functional options.
-type Options = core.Options
-
 // Compiled is a compiled program (see core.Compiled).
 type Compiled = core.Compiled
 

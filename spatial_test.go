@@ -19,7 +19,7 @@ int sumOfSquares(int n) {
   for (i = 0; i < n; i++) squares[i] = i * i;
   for (i = 0; i < n; i++) s += squares[i];
   return s;
-}`, spatial.Options{Level: spatial.OptFull})
+}`, spatial.WithLevel(spatial.OptFull))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,13 +95,13 @@ func TestFunctionalOptions(t *testing.T) {
 
 func TestPublicAPILevels(t *testing.T) {
 	src := `int g; int f(int x) { g = x; g = g + 1; return g; }`
-	for name, lv := range map[string]spatial.Options{
-		"none":   {Level: spatial.OptNone},
-		"basic":  {Level: spatial.OptBasic},
-		"medium": {Level: spatial.OptMedium},
-		"full":   {Level: spatial.OptFull},
+	for name, lv := range map[string]spatial.Level{
+		"none":   spatial.OptNone,
+		"basic":  spatial.OptBasic,
+		"medium": spatial.OptMedium,
+		"full":   spatial.OptFull,
 	} {
-		cp, err := spatial.Compile(src, lv)
+		cp, err := spatial.Compile(src, spatial.WithLevel(lv))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -119,7 +119,7 @@ func TestPublicAPILevels(t *testing.T) {
 // classes, fault injection, and diagnosed deadlocks — all from the root
 // package, the way an embedding application would use them.
 func TestPublicAPIRobustness(t *testing.T) {
-	if _, err := spatial.Compile(`int f( {`, spatial.Options{}); !errors.Is(err, spatial.ErrCompile) {
+	if _, err := spatial.Compile(`int f( {`); !errors.Is(err, spatial.ErrCompile) {
 		t.Fatalf("syntax error not classed spatial.ErrCompile: %v", err)
 	}
 
@@ -130,7 +130,7 @@ int f(void) {
   for (i = 0; i < 16; i++) a[i] = i;
   for (i = 0; i < 16; i++) s += a[i];
   return s;
-}`, spatial.Options{})
+}`)
 	if err != nil {
 		t.Fatal(err)
 	}
