@@ -61,6 +61,12 @@ const (
 	MemRealistic = "realistic"
 )
 
+// Execution backends for Program.Backend.
+const (
+	BackendInterp   = "interp"
+	BackendCompiled = "compiled"
+)
+
 // MemConfig describes the memory system a program runs against. The
 // empty Kind means "perfect". Zero-valued parameters select the paper's
 // defaults (Section 7.3), exactly like the in-process facade.
@@ -106,6 +112,12 @@ type Program struct {
 	Passes *Passes `json:"passes,omitempty"`
 	// Sim is the simulator configuration; nil means defaults.
 	Sim *SimConfig `json:"sim,omitempty"`
+	// Backend selects the execution engine: "" or BackendInterp for the
+	// event-driven interpreter (the default), BackendCompiled for the
+	// flat-bytecode engine. The two are bit-identical on results and
+	// statistics; the choice still keys the compile cache, because a
+	// cached Compiled carries its backend's prebuilt structures.
+	Backend string `json:"backend,omitempty"`
 }
 
 // CompileRequest is the body of POST /v1/compile: compile (and cache) a

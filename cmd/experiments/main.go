@@ -56,6 +56,7 @@ func main() {
 	benchTime := flag.Duration("benchtime", 200*time.Millisecond, "minimum timed duration per (workload, level) for -exp bench")
 	benchOut := flag.String("benchout", "", "write the -exp bench report as JSON to this file")
 	allocBudget := flag.Float64("allocbudget", -1, "fail -exp bench if any allocs/event exceeds this (negative disables)")
+	backend := flag.String("backend", "both", "-exp bench: engines to measure: both, interp, compiled")
 	loadURL := flag.String("url", "", "-exp load: target daemon base URL (empty starts one in-process)")
 	loadRates := flag.String("rates", "", "-exp load: comma-separated offered rates in req/s")
 	loadDur := flag.Duration("loaddur", 2*time.Second, "-exp load: duration per offered rate")
@@ -81,7 +82,11 @@ func main() {
 	// "all": it is a perf measurement, not a paper table, and it wants a
 	// quiet machine.
 	if *exp == "bench" {
-		if err := runBench(benchNames, *benchTime, *benchOut, *allocBudget); err != nil {
+		backends, err := benchBackends(*backend)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runBench(benchNames, *benchTime, *benchOut, *allocBudget, backends); err != nil {
 			fatal(err)
 		}
 		return
@@ -213,15 +218,30 @@ void f(unsigned *p, unsigned a[], int i) {
 	return nil
 }
 
+// benchBackends maps the -backend flag onto the harness backend names.
+func benchBackends(flagVal string) ([]string, error) {
+	switch flagVal {
+	case "", "both":
+		return nil, nil // harness default: interp then codegen
+	case "interp":
+		return []string{harness.BackendInterp}, nil
+	case "compiled":
+		return []string{harness.BackendCodegen}, nil
+	default:
+		return nil, fmt.Errorf("invalid -backend %q (want both, interp, or compiled)", flagVal)
+	}
+}
+
 // runBench measures simulator throughput over the baseline workload set
-// at every optimization level, prints the table plus benchstat-comparable
-// lines, optionally writes BENCH.json, and enforces the allocs/event
-// budget (the CI smoke gate).
-func runBench(names []string, benchTime time.Duration, out string, allocBudget float64) error {
+// at every optimization level on the selected backends (default both,
+// paired so each codegen row carries its same-run speedup), prints the
+// table plus benchstat-comparable lines, optionally writes BENCH.json,
+// and enforces the allocs/event budget (the CI smoke gate).
+func runBench(names []string, benchTime time.Duration, out string, allocBudget float64, backends []string) error {
 	if len(names) == 0 {
 		names = harness.BenchSet
 	}
-	rep, err := harness.Bench(names, benchTime)
+	rep, err := harness.Bench(names, benchTime, backends)
 	if err != nil {
 		return fmt.Errorf("bench: %w", err)
 	}

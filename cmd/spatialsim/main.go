@@ -7,10 +7,16 @@
 // Usage:
 //
 //	spatialsim [-O level] [-entry name] [-mem perfect|real1|real2|real4]
-//	           [-seq] [-edgecap n] [-profile] [-topk n] [-trace out.json]
+//	           [-backend interp|compiled] [-seq] [-edgecap n]
+//	           [-profile] [-topk n] [-trace out.json]
 //	           [-timeout d] [-jitter seed] [-drop n] [-droptok n] [-memfail n]
 //	           [-parallel n] [-repeat m]
 //	           file.c [args...]
+//
+// -backend selects the execution engine: the event-driven interpreter
+// (the default) or the compiled flat-bytecode VM, which produces
+// bit-identical results several times faster. -trace and -profile hook
+// the interpreter's machinery and reject -backend compiled.
 //
 // -repeat runs the program m times and -parallel spreads the repeats
 // over n concurrent streams sharing one compilation; every repeat must
@@ -56,6 +62,7 @@ func main() {
 	level := flag.String("O", "full", "optimization level: none, basic, medium, full")
 	entry := flag.String("entry", "main", "entry function")
 	mem := flag.String("mem", "perfect", "memory system: perfect, real1, real2, real4")
+	backend := flag.String("backend", "interp", "execution engine: interp or compiled (bit-identical)")
 	seq := flag.Bool("seq", false, "also run the sequential baseline")
 	edgeCap := flag.Int("edgecap", 1, "dataflow edge buffer depth")
 	profile := flag.Bool("profile", false, "print per-operator firing profile")
@@ -99,11 +106,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spatialsim:", err)
 		os.Exit(2)
 	}
+	be, err := parseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatialsim:", err)
+		os.Exit(2)
+	}
+	if be == core.BackendCompiled && (*traceOut != "" || *profile) {
+		fmt.Fprintln(os.Stderr, "spatialsim: -trace and -profile observe the interpreter and cannot be combined with -backend compiled")
+		os.Exit(2)
+	}
 	cfg := core.DefaultSim()
 	cfg.Mem = mcfg
 	cfg.EdgeCap = *edgeCap
 	cp, err := core.CompileSource(string(src), core.WithLevel(lv),
-		core.WithSim(cfg), core.WithDeadline(*timeout))
+		core.WithSim(cfg), core.WithDeadline(*timeout), core.WithBackend(be))
 	if err != nil {
 		fatal(err)
 	}
@@ -286,6 +302,16 @@ func parseLevel(s string) (opt.Level, error) {
 		return opt.Full, nil
 	}
 	return 0, fmt.Errorf("unknown optimization level %q", s)
+}
+
+func parseBackend(s string) (core.Backend, error) {
+	switch s {
+	case "interp":
+		return core.BackendInterpreted, nil
+	case "compiled":
+		return core.BackendCompiled, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q (want interp or compiled)", s)
 }
 
 func parseMem(s string) (memsys.Config, error) {

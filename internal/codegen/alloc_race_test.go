@@ -1,0 +1,8 @@
+//go:build race
+
+package codegen_test
+
+// The race detector instruments synchronization and shadow-memory paths
+// that allocate even when the instrumented code does not, so counting
+// allocations under -race measures the detector, not the VM.
+const raceEnabled = true

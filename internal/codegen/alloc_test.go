@@ -1,0 +1,50 @@
+package codegen_test
+
+// Steady-state allocation gate: after a warm-up run has sized the VM's
+// ring buckets, frame free lists, activation arena, and memory image,
+// repeat runs of a compiled Module must allocate (almost) nothing — the
+// whole point of the flat-bytecode engine is that the hot loop touches
+// no allocator. The budget is per *run*, not per event: a few fixed
+// allocations (the Result, the per-run memory-system stats) are fine,
+// anything that scales with events is not.
+
+import (
+	"testing"
+
+	"spatial/internal/codegen"
+	"spatial/internal/core"
+	"spatial/internal/dataflow"
+	"spatial/internal/opt"
+	"spatial/internal/workloads"
+)
+
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting measures the race detector, not the VM")
+	}
+	w := workloads.ByName("g721_e")
+	cp, err := core.CompileSource(w.Source, core.WithLevel(opt.Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := codegen.Compile(cp.Program)
+	cfg := dataflow.DefaultConfig()
+	res, err := mod.Run(w.Entry, nil, cfg) // warm-up sizes every pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := float64(res.Stats.Events)
+	perRun := testing.AllocsPerRun(10, func() {
+		if _, err := mod.Run(w.Entry, nil, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	// The harness bench gate allows 0.05 allocs/event; hold the engine
+	// itself to far less — a fixed handful per run, none per event.
+	if perEvent := perRun / events; perEvent > 0.001 {
+		t.Errorf("steady-state allocations: %.1f allocs/run = %.4f allocs/event (budget 0.001)", perRun, perEvent)
+	}
+	if perRun > 64 {
+		t.Errorf("steady-state allocations: %.1f allocs/run (budget 64 fixed)", perRun)
+	}
+}

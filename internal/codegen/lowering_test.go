@@ -1,0 +1,175 @@
+package codegen_test
+
+// Lowering edge cases: small programs chosen to stress the corners of
+// the graph-to-bytecode lowering rather than throughput — loops whose
+// bodies never run, recursion deep enough to cycle the frame free lists,
+// and control flow where predicate-false etas must discard values. Each
+// is checked for bit-identity against the interpreter at every
+// optimization level, and for value agreement with the sequential
+// oracle.
+
+import (
+	"testing"
+
+	"spatial/internal/codegen"
+	"spatial/internal/core"
+	"spatial/internal/dataflow"
+	"spatial/internal/opt"
+)
+
+var loweringCases = []struct {
+	name string
+	src  string
+	want int64
+}{
+	// The loop guard is false on entry: the body's operators are lowered
+	// and wired but must never fire, and the loop's merge/eta ring has to
+	// pass the initial values straight through.
+	{"zero-iteration-loop", `
+int sum(int n) {
+  int i;
+  int s = 7;
+  for (i = 0; i < n; i++) s += i * i;
+  return s;
+}
+int bench(void) {
+  int dead = sum(0);
+  int one = sum(1);
+  return dead * 1000 + one;
+}
+`, 7007},
+
+	// Mutual recursion with two distinct frame sizes: frames must be
+	// recycled LIFO per size class exactly like the interpreter, and the
+	// call/return rules must route results to the right activation.
+	{"recursion-frame-reuse", `
+int odd(int n);
+int even(int n) {
+  if (n == 0) return 1;
+  return odd(n - 1);
+}
+int odd(int n) {
+  int pad = n * 3;
+  if (n == 0) return 0;
+  return even(n - 1) + pad - pad;
+}
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int bench(void) {
+  return fib(12) * 10 + even(9) * 5 + odd(7);
+}
+`, 1441},
+
+	// Both arms of each branch are lowered; the predicate-false side's
+	// eta nodes receive their data inputs and must consume and discard
+	// them without emitting (and without counting an operator firing).
+	{"predicate-false-eta-discard", `
+int pick(int c, int a, int b) {
+  int r;
+  if (c) r = a * 3; else r = b + 100;
+  return r;
+}
+int bench(void) {
+  int x = 0;
+  int i;
+  for (i = 0; i < 8; i++) {
+    x += pick(i & 1, i, i);
+  }
+  return x;
+}
+`, 460},
+
+	// A loop that exits via break mid-body plus a continue path: etas on
+	// the exit edges fire on different predicates than the back edges.
+	{"break-continue", `
+int bench(void) {
+  int i;
+  int s = 0;
+  for (i = 0; i < 100; i++) {
+    if (i == 13) break;
+    if (i & 1) continue;
+    s += i;
+  }
+  return s * 10 + i;
+}
+`, 433},
+}
+
+func TestLoweringEdgeCases(t *testing.T) {
+	for _, tc := range loweringCases {
+		for _, lvl := range allLevels {
+			cp, err := core.CompileSource(tc.src, core.WithLevel(lvl))
+			if err != nil {
+				t.Fatalf("%s O%d: compile: %v", tc.name, lvl, err)
+			}
+			seq, err := cp.RunSequential("bench", nil)
+			if err != nil {
+				t.Fatalf("%s O%d: oracle: %v", tc.name, lvl, err)
+			}
+			if seq.Value != tc.want {
+				t.Fatalf("%s O%d: oracle value %d, test expects %d", tc.name, lvl, seq.Value, tc.want)
+			}
+			want, err := dataflow.Run(cp.Program, "bench", nil, dataflow.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s O%d: interp: %v", tc.name, lvl, err)
+			}
+			got, err := codegen.Compile(cp.Program).Run("bench", nil, dataflow.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s O%d: compiled: %v", tc.name, lvl, err)
+			}
+			if *got != *want {
+				t.Errorf("%s O%d mismatch:\n got %+v\nwant %+v", tc.name, lvl, got, want)
+			}
+			if got.Value != tc.want {
+				t.Errorf("%s O%d: value %d, want %d", tc.name, lvl, got.Value, tc.want)
+			}
+		}
+	}
+}
+
+// TestModuleConcurrentRuns runs one compiled Module from several
+// goroutines at once — the Module is shared read-only and each run's VM
+// comes from the pool, so results must stay identical and race-free
+// (tier-1 runs with -race in CI).
+func TestModuleConcurrentRuns(t *testing.T) {
+	src := loweringCases[1].src
+	cp, err := core.CompileSource(src, core.WithLevel(opt.Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := codegen.Compile(cp.Program)
+	want, err := mod.Run("bench", nil, dataflow.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 5; i++ {
+				got, err := mod.Run("bench", nil, dataflow.DefaultConfig())
+				if err != nil {
+					done <- err
+					return
+				}
+				if *got != *want {
+					done <- errMismatch
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent run diverged from baseline" }

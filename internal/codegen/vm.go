@@ -1,0 +1,1330 @@
+package codegen
+
+// This file is the bytecode executor. It replays the interpreter's event
+// algebra exactly — same push order, same (time, seq) pop order, same
+// statistics — while eliminating its constant factors: rules instead of
+// node dispatch, bare int64 latch FIFOs, one flat occupancy array, a
+// calendar-ring event queue, and inlined arithmetic that never allocates
+// (division by zero yields 0 without an error value). Zero steady-state
+// allocations: the VM itself, activation state, ring buckets, and latch
+// buffers are all pooled or retain capacity across runs.
+
+import (
+	"context"
+	"fmt"
+
+	"spatial/internal/cminor"
+	"spatial/internal/dataflow"
+	"spatial/internal/faultsim"
+	"spatial/internal/memsys"
+	"spatial/internal/pegasus"
+)
+
+// vnode is the per-rule dynamic state: delivery-order floors, the token
+// generator's credit counter, the missing-input counter (number of
+// currently empty dynamic input latches), the full-edge counter (number
+// of consumer edges at capacity), and the fired-once mark. missing and
+// full let the run loop skip fire attempts of gated rules without
+// dispatching, and replace the interpreter's per-attempt capacity scan
+// with one comparison: every firing rule's capacity gate is exactly
+// "no consumer edge full", because ops only ever emit on classes they
+// gate on (returns and entries have no in-graph consumers at all).
+// The gate-hot fields (missing, full, flags, firedOnce) lead so the run
+// loop's skip decision reads the struct's first bytes.
+type vnode struct {
+	missing   int32
+	full      int32
+	flags     uint8
+	firedOnce bool
+	_         [2]byte
+	counter   int32
+	lastVal   int64
+	lastTok   int64
+}
+
+// vq is one input latch: a FIFO of raw values held inline, so a
+// delivery or consume touches no cache line beyond the struct itself.
+// The producer bookkeeping the interpreter latches per value is static
+// per port here (pmeta), because every port has exactly one producer
+// edge — which also bounds the depth by EdgeCap (plus injected
+// duplicates); depths beyond the inline slots spill to the overflow
+// tail (EdgeCap > 3 or fault duplication only).
+type vq struct {
+	n   int32
+	_   int32
+	v   [3]int64
+	ovf []int64
+}
+
+func (q *vq) size() int { return int(q.n) }
+
+func (q *vq) push(val int64) {
+	if q.n < 3 {
+		q.v[q.n] = val
+	} else {
+		q.ovf = append(q.ovf, val)
+	}
+	q.n++
+}
+
+// shift closes the front gap after popping v[0] with n still > 0.
+func (q *vq) shift() {
+	q.v[0] = q.v[1]
+	q.v[1] = q.v[2]
+	if len(q.ovf) > 0 {
+		q.v[2] = q.ovf[0]
+		q.ovf = q.ovf[:copy(q.ovf, q.ovf[1:])]
+	}
+}
+
+// vstate is one activation's entire dynamic state, recycled through the
+// gprog's pool.
+type vstate struct {
+	nodes []vnode
+	ports []vq
+	// occ holds every output edge's occupancy count: value edges in
+	// [0, numVal), token edges in [numVal, numOcc) — rule occupancy
+	// bases and portOcc indices are pre-offset at lowering.
+	occ []int32
+	// next (fault injection only) tracks the earliest legal delivery
+	// time per consumer edge, preserving FIFO order under injected
+	// delays; same layout as occ. Lazily allocated, exactly like the
+	// interpreter.
+	next []int64
+	// slots holds the static program's results; fully overwritten by
+	// runStatics at activation start, so never cleared.
+	slots  []int64
+	params []int64
+}
+
+func newVstate(gp *gprog) *vstate {
+	return &vstate{
+		nodes: make([]vnode, len(gp.rules)),
+		ports: make([]vq, gp.numPorts),
+		occ:   make([]int32, gp.numOcc),
+		slots: make([]int64, gp.numSlots),
+	}
+}
+
+// prepare resets recycled state to the pristine activation-start layout.
+func (st *vstate) prepare(gp *gprog, fresh bool) {
+	if !fresh {
+		for i := range st.ports {
+			st.ports[i].n = 0
+			st.ports[i].ovf = st.ports[i].ovf[:0]
+		}
+		clear(st.occ)
+		clear(st.next)
+	}
+	copy(st.nodes, gp.nodeInit)
+}
+
+// edgeNext mirrors actState.edgeNext (fault injection only); base is the
+// rule's pre-offset occupancy base for the edge class being emitted.
+func (st *vstate) edgeNext(gp *gprog, base int32) []int64 {
+	if st.next == nil {
+		st.next = make([]int64, gp.numOcc)
+	}
+	return st.next[base:]
+}
+
+// vact is one dynamic instance of a function. The event-hot fields
+// (done, st, gp) lead so the run loop touches only the struct's front.
+type vact struct {
+	done bool
+	st   *vstate
+	gp   *gprog
+	id   int
+	// retRule is the parent's call rule to complete when the return
+	// fires (-1: this is the entry activation).
+	retRule int32
+	frame   uint32
+	actsIdx int
+	retAct  *vact
+}
+
+// vev is one scheduled event. dstPort >= 0 latches val there before the
+// fire attempt (a delivery); dstPort < 0 only attempts the fire (a
+// check). Ring events carry no sequence number — their FIFO position is
+// their sequence (see the order proof below) — which keeps the struct to
+// 32 bytes.
+type vev struct {
+	time, val int64
+	act       *vact
+	rule      int32
+	dstPort   int32
+}
+
+// sev is a spilled event: far-future events wait in a min-heap, where
+// ordering needs an explicit sequence number.
+type sev struct {
+	vev
+	seq int64
+}
+
+// The calendar ring: per-cycle FIFO buckets for events within ringLen
+// cycles of the current base time, plus a spill min-heap for the rest.
+//
+// Order proof sketch: push order is the interpreter's seq order and base
+// never decreases, so (a) events land in a bucket in push order, and a
+// bucket only ever holds events of a single time value (all events at
+// time t are drained while base == t, and nothing pushes at a time <
+// base because pushes happen at e.time >= now == base); (b) a spill
+// event at time t was pushed while t >= base+ringLen, a ring event at
+// time t while t < base+ringLen — since base is monotone the spill push
+// happened strictly earlier. pop therefore drains the spill heap at the
+// base time first, then the base bucket FIFO, and the result is exactly
+// (time, seq) order — the interpreter's heap order — without storing
+// seq per ring event. The spill counter orders spilled events among
+// themselves. When a run needs real sequence numbers (evHook), every
+// event goes through the spill heap instead (spillAll), where the
+// counter is then the interpreter's global seq.
+const (
+	ringBits = 9
+	ringLen  = 1 << ringBits
+	ringMask = ringLen - 1
+)
+
+type vbucket struct {
+	buf  []vev
+	head int32
+}
+
+// vm executes one run of a lowered module. VMs are recycled through the
+// module's pool; getVM restores the pristine state between runs.
+type vm struct {
+	mod  *Module
+	cfg  dataflow.Config
+	mem  []byte
+	msys *memsys.System
+
+	buckets [ringLen]vbucket
+	base    int64
+	baseIdx int32
+	count   int   // events in ring buckets
+	spill   []sev // far-future events, min-heap on (time, seq)
+	// spillAll routes every push through the spill heap so each event
+	// carries a true global sequence number (evHook runs only).
+	spillAll bool
+	// popSeq is the seq of the last spill-popped event (evHook runs).
+	popSeq int64
+
+	seq   int64
+	now   int64
+	stats dataflow.Stats
+
+	nextActID  int
+	sp         uint32
+	liveFrames int
+	// freeFrames holds recycled frame offsets per frame-size class (see
+	// gprog.frameClass).
+	freeFrames [][]uint32
+
+	mainVal  int64
+	mainDone bool
+
+	insBuf   []int64
+	predsBuf []int64
+	toksBuf  []int64
+
+	inj     *faultsim.Injector
+	ctx     context.Context
+	ctxTick int
+	err     error
+
+	acts []*vact
+	// arena chunk-allocates vacts: fixed-size chunks are never
+	// reallocated (events hold *vact), consecutive activations share
+	// cache lines, and chunks are retained across runs.
+	arena [][]vact
+
+	evHook func(time, seq int64, act, node int)
+}
+
+// getVM returns a pristine VM for one run, reusing a pooled one when
+// available (its ring buckets, frame free lists, scratch buffers, and
+// memory image keep their capacity).
+func (mod *Module) getVM() *vm {
+	m, ok := mod.vmPool.Get().(*vm)
+	if !ok {
+		return &vm{
+			mod:        mod,
+			mem:        make([]byte, mod.prog.Layout.MemSize),
+			freeFrames: make([][]uint32, mod.numFrameClasses),
+		}
+	}
+	// Drop every retained event: an errored or early-terminated run
+	// leaves stale events (and activation pointers) in the queue.
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.buf = b.buf[:cap(b.buf)]
+		clear(b.buf)
+		b.buf = b.buf[:0]
+		b.head = 0
+	}
+	m.spill = m.spill[:cap(m.spill)]
+	clear(m.spill)
+	m.spill = m.spill[:0]
+	m.acts = m.acts[:cap(m.acts)]
+	clear(m.acts)
+	m.acts = m.acts[:0]
+	for i := range m.arena {
+		ch := m.arena[i][:cap(m.arena[i])]
+		clear(ch) // drop stale gp/st/retAct references
+		m.arena[i] = ch[:0]
+	}
+	for i := range m.freeFrames {
+		m.freeFrames[i] = m.freeFrames[i][:0]
+	}
+	clear(m.mem)
+	m.base, m.baseIdx, m.count = 0, 0, 0
+	m.seq, m.now, m.popSeq = 0, 0, 0
+	m.spillAll = false
+	m.stats = dataflow.Stats{}
+	m.nextActID, m.liveFrames = 0, 0
+	m.mainVal, m.mainDone = 0, false
+	m.ctxTick = 0
+	m.err = nil
+	return m
+}
+
+// release returns the VM to the module's pool, dropping the observer
+// references that must not outlive the run.
+func (mod *Module) release(m *vm) {
+	m.msys = nil
+	m.inj = nil
+	m.ctx = nil
+	m.evHook = nil
+	mod.vmPool.Put(m)
+}
+
+// runVM is the single internal runner behind the Module's Run variants;
+// it mirrors dataflow.runMachine.
+func (mod *Module) runVM(ctx context.Context, entry string, args []int64, cfg dataflow.Config,
+	inj *faultsim.Injector, evHook func(time, seq int64, act, node int)) (*dataflow.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.Normalized()
+	gp := mod.progs[entry]
+	if gp == nil {
+		return nil, fmt.Errorf("dataflow: no function %q", entry)
+	}
+	if len(args) != gp.numParams {
+		return nil, fmt.Errorf("dataflow: %s expects %d arguments, got %d", entry, gp.numParams, len(args))
+	}
+	m := mod.getVM()
+	defer mod.release(m)
+	m.cfg = cfg
+	m.sp = mod.prog.Layout.StackBase
+	m.msys = memsys.New(cfg.Mem)
+	m.inj = inj
+	m.ctx = ctx
+	m.evHook = evHook
+	m.spillAll = evHook != nil
+	if inj != nil {
+		m.msys.SetPerturber(inj)
+	}
+	for _, c := range mod.prog.Layout.Init {
+		m.writeMem(c.Addr, c.Size, c.Value)
+	}
+	m.newActivation(gp, args, -1, nil)
+	if m.err != nil {
+		return nil, m.err
+	}
+	if err := m.run(); err != nil {
+		return nil, err
+	}
+	m.stats.Cycles = m.now
+	m.stats.Mem = m.msys.Stats()
+	return &dataflow.Result{Value: m.mainVal, Stats: m.stats}, nil
+}
+
+// --- event queue ---
+
+// push schedules one event. Scalar arguments and a manual slot store
+// keep the hot path to a single 32-byte write into the bucket tail.
+func (m *vm) push(t, val int64, a *vact, rule, dst int32) {
+	if d := t - m.base; d < ringLen && !m.spillAll {
+		b := &m.buckets[(m.baseIdx+int32(d))&ringMask]
+		n := len(b.buf)
+		if n < cap(b.buf) {
+			b.buf = b.buf[:n+1]
+		} else {
+			b.buf = append(b.buf, vev{})
+		}
+		s := &b.buf[n]
+		s.time, s.val = t, val
+		s.act, s.rule, s.dstPort = a, rule, dst
+		m.count++
+		return
+	}
+	m.spillPush(sev{vev: vev{time: t, val: val, act: a, rule: rule, dstPort: dst}, seq: m.seq})
+	m.seq++
+}
+
+func (m *vm) pushCheck(t int64, a *vact, ri int32) {
+	m.push(t, 0, a, ri, -1)
+}
+
+// pushNow pushes a check at the current cycle. During event processing
+// base == now (ring pops drain the base bucket, whose single time value
+// is base; spill pops only happen with spill[0].time == base), so the
+// event always belongs in the base bucket.
+func (m *vm) pushNow(a *vact, ri int32) {
+	if m.spillAll {
+		m.spillPush(sev{vev: vev{time: m.now, act: a, rule: ri, dstPort: -1}, seq: m.seq})
+		m.seq++
+		return
+	}
+	b := &m.buckets[m.baseIdx]
+	n := len(b.buf)
+	if n < cap(b.buf) {
+		b.buf = b.buf[:n+1]
+	} else {
+		b.buf = append(b.buf, vev{})
+	}
+	s := &b.buf[n]
+	s.time, s.val = m.now, 0
+	s.act, s.rule, s.dstPort = a, ri, -1
+	m.count++
+}
+
+// pop returns the earliest pending event in (time, seq) order. Must not
+// be called with nothing pending.
+func (m *vm) pop() vev {
+	for {
+		if s := m.spill; len(s) > 0 && s[0].time == m.base {
+			return m.spillPop()
+		}
+		b := &m.buckets[m.baseIdx]
+		if int(b.head) < len(b.buf) {
+			e := b.buf[b.head]
+			b.head++
+			if int(b.head) == len(b.buf) {
+				b.buf = b.buf[:0]
+				b.head = 0
+			}
+			m.count--
+			return e
+		}
+		m.base++
+		m.baseIdx = (m.baseIdx + 1) & ringMask
+		if m.count == 0 && len(m.spill) > 0 && m.spill[0].time > m.base {
+			// Ring empty: skip straight to the next asynchronous event.
+			m.base = m.spill[0].time
+		}
+	}
+}
+
+func (m *vm) spillPush(e sev) {
+	m.spill = append(m.spill, e)
+	s := m.spill
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) >> 1
+		if !evLess(&s[i], &s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (m *vm) spillPop() vev {
+	s := m.spill
+	e := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last].act = nil
+	m.spill = s[:last]
+	s = m.spill
+	i := 0
+	for {
+		c := i*2 + 1
+		if c >= len(s) {
+			break
+		}
+		if c+1 < len(s) && evLess(&s[c+1], &s[c]) {
+			c++
+		}
+		if !evLess(&s[c], &s[i]) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	m.popSeq = e.seq
+	return e.vev
+}
+
+func evLess(a, b *sev) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// --- run loop (mirrors machine.run) ---
+
+func (m *vm) run() error {
+	// Loop-invariant hoists: the compiler cannot prove these vm fields
+	// unchanged across the call-heavy loop body.
+	hasCtx := m.ctx != nil
+	hasHook := m.evHook != nil
+	noInj := m.inj == nil
+	maxCycles := m.cfg.MaxCycles
+	for m.count > 0 || len(m.spill) > 0 {
+		if hasCtx {
+			m.ctxTick++
+			if m.ctxTick >= 1024 {
+				m.ctxTick = 0
+				if err := m.ctx.Err(); err != nil {
+					return fmt.Errorf("%w at cycle %d: %v", dataflow.ErrCanceled, m.now, err)
+				}
+			}
+		}
+		// Inline pop fast path: no spill, base bucket non-empty. The
+		// slow path (spill events or base advance) stays in pop.
+		var e vev
+		if b := &m.buckets[m.baseIdx]; len(m.spill) == 0 && int(b.head) < len(b.buf) {
+			e = b.buf[b.head]
+			b.head++
+			if int(b.head) == len(b.buf) {
+				b.buf = b.buf[:0]
+				b.head = 0
+			}
+			m.count--
+		} else {
+			e = m.pop()
+		}
+		if e.time > maxCycles {
+			m.now = e.time
+			return &dataflow.LivelockError{MaxCycles: maxCycles, Report: m.stuckReport("livelock")}
+		}
+		m.now = e.time
+		m.stats.Events++
+		a := e.act
+		if hasHook {
+			// spillAll mode: every event came through the spill heap,
+			// so popSeq is its true global sequence number.
+			m.evHook(e.time, m.popSeq, a.id, int(a.gp.rules[e.rule].nodeID))
+		}
+		if a.done {
+			// Drop events for completed activations: their state has
+			// been recycled (cross-activation edges do not exist).
+			continue
+		}
+		ns := &a.st.nodes[e.rule]
+		if e.dstPort >= 0 {
+			q := &a.st.ports[e.dstPort]
+			if q.n == 0 {
+				ns.missing--
+			}
+			q.push(e.val)
+		}
+		if noInj {
+			// An attempt that would fail on a missing input (or an
+			// already fired once-only rule) has no observable effect:
+			// skip the dispatch without touching the full rule struct.
+			// Disabled under fault injection, which must probe the
+			// injector on every attempt like the interpreter.
+			if f := ns.flags; (f&flagGated != 0 && (ns.missing > 0 || ns.full > 0)) ||
+				(f&flagFireOnce != 0 && ns.firedOnce) {
+				continue
+			}
+		}
+		m.tryFire(a, e.rule, &a.gp.rules[e.rule])
+		if m.err != nil {
+			return m.err
+		}
+		if m.mainDone {
+			return nil
+		}
+	}
+	if !m.mainDone {
+		return &dataflow.DeadlockError{Report: m.stuckReport("deadlock")}
+	}
+	return nil
+}
+
+// --- activations ---
+
+func (m *vm) newActivation(gp *gprog, args []int64, retRule int32, retAct *vact) *vact {
+	st, recycled := gp.pool.Get().(*vstate)
+	if !recycled {
+		st = newVstate(gp)
+	}
+	st.prepare(gp, !recycled)
+	st.params = append(st.params[:0], args...)
+	a := m.allocVact()
+	a.id = m.nextActID
+	a.gp = gp
+	a.st = st
+	a.retRule = retRule
+	a.retAct = retAct
+	a.actsIdx = len(m.acts)
+	m.nextActID++
+	m.acts = append(m.acts, a)
+	a.frame = m.allocFrame(gp)
+	m.runStatics(a)
+	if gp.entryRule >= 0 {
+		m.emit(a, gp.entryRule, &gp.rules[gp.entryRule], true, 1, m.now+1)
+	}
+	for _, ri := range gp.seeds {
+		m.pushCheck(m.now+1, a, ri)
+	}
+	return a
+}
+
+const arenaChunk = 64
+
+// allocVact hands out the next zeroed slot of the arena's current
+// chunk. Chunks are fixed-capacity so handed-out pointers stay valid.
+func (m *vm) allocVact() *vact {
+	if n := len(m.arena); n == 0 || len(m.arena[n-1]) == cap(m.arena[n-1]) {
+		m.arena = append(m.arena, make([]vact, 0, arenaChunk))
+	}
+	ch := m.arena[len(m.arena)-1]
+	ch = ch[:len(ch)+1]
+	m.arena[len(m.arena)-1] = ch
+	return &ch[len(ch)-1]
+}
+
+func (m *vm) complete(a *vact) {
+	a.done = true
+	m.freeFrame(a)
+	last := len(m.acts) - 1
+	m.acts[a.actsIdx] = m.acts[last]
+	m.acts[a.actsIdx].actsIdx = a.actsIdx
+	m.acts[last] = nil
+	m.acts = m.acts[:last]
+	a.gp.pool.Put(a.st)
+	a.st = nil
+}
+
+func (m *vm) allocFrame(gp *gprog) uint32 {
+	size := gp.frameSize
+	if size == 0 {
+		return 0
+	}
+	m.liveFrames++
+	if frames := m.freeFrames[gp.frameClass]; len(frames) > 0 {
+		f := frames[len(frames)-1]
+		m.freeFrames[gp.frameClass] = frames[:len(frames)-1]
+		// Zero the recycled frame so first use and reuse are identical.
+		clear(m.mem[f : f+size])
+		return f
+	}
+	f := m.sp
+	m.sp += (size + 7) &^ 7
+	if m.sp > m.mod.prog.Layout.MemSize {
+		m.fail(fmt.Errorf("%w: %d frames live, frame top 0x%x past memory size 0x%x",
+			dataflow.ErrStackOverflow, m.liveFrames, m.sp, m.mod.prog.Layout.MemSize))
+	}
+	return f
+}
+
+func (m *vm) freeFrame(a *vact) {
+	if a.gp.frameSize > 0 {
+		m.liveFrames--
+		m.freeFrames[a.gp.frameClass] = append(m.freeFrames[a.gp.frameClass], a.frame)
+	}
+}
+
+func (m *vm) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
+// runStatics executes the static program into the activation's slots.
+// The interpreter evaluates the same values lazily with memoization;
+// eager evaluation is equivalent because they are pure functions of the
+// parameters and frame address.
+func (m *vm) runStatics(a *vact) {
+	st := a.st
+	for i := range a.gp.sprog {
+		ins := &a.gp.sprog[i]
+		var v int64
+		switch ins.op {
+		case sParam:
+			v = st.params[ins.off]
+		case sAddr:
+			v = int64(a.frame + uint32(ins.off))
+		case sBin:
+			v = evalBin(ins.bin, argv(st, ins.a), argv(st, ins.b), ins.uns)
+		case sUn:
+			v = evalUn(ins.un, argv(st, ins.a))
+		case sConv:
+			v = convValue(argv(st, ins.a), int(ins.bits), ins.sign)
+		case sMux:
+			for j := 0; j < len(ins.mux); j += 2 {
+				if argv(st, ins.mux[j]) != 0 {
+					v = argv(st, ins.mux[j+1])
+					break
+				}
+			}
+		}
+		st.slots[ins.dst] = v
+	}
+}
+
+func argv(st *vstate, g oparg) int64 {
+	if g.mode == argImm {
+		return g.imm
+	}
+	return st.slots[g.idx]
+}
+
+// --- delivery and consumption ---
+
+// consume pops the front of a latch, releasing the producer's edge slot
+// and rechecking the producer.
+func (m *vm) consume(a *vact, p int32) int64 {
+	st := a.st
+	pm := &a.gp.ports[p]
+	q := &st.ports[p]
+	v := q.v[0]
+	q.n--
+	if q.n == 0 {
+		st.nodes[pm.owner].missing++
+	} else {
+		q.shift()
+	}
+	o := st.occ[pm.occ]
+	st.occ[pm.occ] = o - 1
+	if o == int32(m.cfg.EdgeCap) {
+		st.nodes[pm.prod].full--
+	}
+	m.pushNow(a, pm.prod)
+	return v
+}
+
+// argVal resolves one operand, consuming dynamic ones.
+func (m *vm) argVal(a *vact, g oparg) int64 {
+	switch g.mode {
+	case argImm:
+		return g.imm
+	case argSlot:
+		return a.st.slots[g.idx]
+	default:
+		return m.consume(a, g.idx)
+	}
+}
+
+// consumeClass consumes one operand class in order into a scratch buffer
+// (mirrors consumeAll's per-class order: ins, then preds, then toks).
+func (m *vm) consumeClass(a *vact, args []oparg, buf *[]int64) []int64 {
+	b := (*buf)[:0]
+	for i := range args {
+		switch g := &args[i]; g.mode {
+		case argImm:
+			b = append(b, g.imm)
+		case argSlot:
+			b = append(b, a.st.slots[g.idx])
+		default:
+			b = append(b, m.consume(a, g.idx))
+		}
+	}
+	*buf = b
+	return b
+}
+
+// emit schedules delivery of one output to every consumer and reserves
+// edge occupancy, flooring the time by the in-order delivery constraint.
+// Occupancy crossings into capacity maintain the rule's full counter.
+func (m *vm) emit(a *vact, ri int32, r *rule, tok bool, val, t int64) {
+	st := a.st
+	ns := &st.nodes[ri]
+	var cnt, base int32
+	var d0 dest
+	if tok {
+		if t < ns.lastTok {
+			t = ns.lastTok
+		}
+		ns.lastTok = t
+		cnt, d0, base = r.tokCnt, r.tokD0, r.tokOccBase
+	} else {
+		if t < ns.lastVal {
+			t = ns.lastVal
+		}
+		ns.lastVal = t
+		cnt, d0, base = r.valCnt, r.valD0, r.valOccBase
+	}
+	if m.inj == nil {
+		c := int32(m.cfg.EdgeCap)
+		if cnt == 1 {
+			// Single consumer: the inlined dest avoids the cons slice
+			// and its backing array entirely.
+			o := st.occ[base] + 1
+			st.occ[base] = o
+			if o == c {
+				ns.full++
+			}
+			m.push(t, val, a, d0.rule, d0.port)
+			return
+		}
+		occ := st.occ[base:]
+		cons := r.tokCons
+		if !tok {
+			cons = r.valCons
+		}
+		for i := range cons {
+			o := occ[i] + 1
+			occ[i] = o
+			if o == c {
+				ns.full++
+			}
+			m.push(t, val, a, cons[i].rule, cons[i].port)
+		}
+		return
+	}
+	cons := r.tokCons
+	if !tok {
+		cons = r.valCons
+	}
+	m.emitFaulted(a, ns, r, tok, val, t, cons, st.occ[base:])
+}
+
+// emitFaulted is the fault-injection delivery path, mirroring the
+// interpreter's exactly (same Deliver call order, same FIFO floors).
+func (m *vm) emitFaulted(a *vact, ns *vnode, r *rule, tok bool, val, t int64, cons []dest, occ []int32) {
+	base := r.valOccBase
+	if tok {
+		base = r.tokOccBase
+	}
+	c := int32(m.cfg.EdgeCap)
+	for i := range cons {
+		dt := t
+		copies := 1
+		switch fa := m.inj.Deliver(m.now, a.gp.name, int(r.nodeID), tok, i); fa.Kind {
+		case faultsim.ActDrop:
+			copies = 0
+		case faultsim.ActDup:
+			copies = 2
+		case faultsim.ActDelay:
+			dt = t + fa.Delay
+		}
+		next := a.st.edgeNext(a.gp, base)
+		if dt < next[i] {
+			dt = next[i]
+		}
+		next[i] = dt
+		for k := 0; k < copies; k++ {
+			o := occ[i] + 1
+			occ[i] = o
+			if o == c {
+				ns.full++
+			}
+			m.push(dt, val, a, cons[i].rule, cons[i].port)
+		}
+	}
+}
+
+// --- firing rules (mirror fire.go) ---
+
+// tryFire attempts to fire the rule as many times as it can, preserving
+// the interpreter's exact attempt sequence: done check, freeze probe,
+// fire-once gate, dispatch — then the whole sequence again after every
+// success until an attempt fails.
+func (m *vm) tryFire(a *vact, ri int32, r *rule) {
+	for {
+		if a.done {
+			return
+		}
+		// pre records that the gate has proven the rule fireable (every
+		// input latched, no output edge full), letting the gated fire
+		// paths skip their own rechecks.
+		pre := false
+		if m.inj != nil {
+			if thaw := m.inj.FrozenUntil(m.now, a.gp.name, int(r.nodeID)); thaw > m.now {
+				m.pushCheck(thaw, a, ri)
+				return
+			}
+		} else if r.gated {
+			if ns := &a.st.nodes[ri]; ns.missing > 0 || ns.full > 0 {
+				return
+			}
+			pre = true
+		}
+		if r.fireOnce {
+			ns := &a.st.nodes[ri]
+			if ns.firedOnce {
+				return
+			}
+			if m.dispatch(a, ri, r, pre) {
+				ns.firedOnce = true
+				continue
+			}
+			return
+		}
+		if !m.dispatch(a, ri, r, pre) {
+			return
+		}
+	}
+}
+
+func (m *vm) dispatch(a *vact, ri int32, r *rule, pre bool) bool {
+	switch r.op {
+	case opBin, opUn, opConv, opMux, opCombine:
+		return m.fireSimple(a, ri, r, pre)
+	case opMerge:
+		return m.fireMerge(a, ri, r)
+	case opEta:
+		return m.fireEta(a, ri, r)
+	case opTokGen:
+		return m.fireTokenGen(a, ri, r)
+	case opLoad, opStore:
+		return m.fireMemOp(a, ri, r, pre)
+	case opCall:
+		return m.fireCall(a, ri, r, pre)
+	case opReturn:
+		return m.fireReturn(a, r, pre)
+	default: // opEntry: fired once at activation start
+		return false
+	}
+}
+
+func (m *vm) fireSimple(a *vact, ri int32, r *rule, pre bool) bool {
+	st := a.st
+	if !pre {
+		for _, p := range r.needPorts {
+			if st.ports[p].size() == 0 {
+				return false
+			}
+		}
+		if st.nodes[ri].full > 0 {
+			return false
+		}
+	} else if r.shape != shGeneric {
+		// Pre-gated specialized shapes: consume straight off the ports
+		// (same order as the generic class loop) and emit.
+		var v int64
+		switch r.shape {
+		case shBin2:
+			x := m.consume(a, r.shapeA)
+			y := m.consume(a, r.shapeB)
+			v = evalBin(r.bin, x, y, r.unsigned)
+		case shUn1:
+			v = evalUn(r.un, m.consume(a, r.shapeA))
+		default: // shConv1
+			v = convValue(m.consume(a, r.shapeA), int(r.toBits), r.convSign)
+		}
+		m.stats.OpsFired++
+		m.emit(a, ri, r, false, v, m.now+r.lat)
+		return true
+	}
+	var ins, preds []int64
+	if len(r.ins) > 0 {
+		ins = m.consumeClass(a, r.ins, &m.insBuf)
+	}
+	if len(r.preds) > 0 {
+		preds = m.consumeClass(a, r.preds, &m.predsBuf)
+	}
+	if len(r.toks) > 0 {
+		m.consumeClass(a, r.toks, &m.toksBuf)
+	}
+	m.stats.OpsFired++
+	t := m.now + r.lat
+	var v int64
+	switch r.op {
+	case opBin:
+		v = evalBin(r.bin, ins[0], ins[1], r.unsigned)
+	case opUn:
+		v = evalUn(r.un, ins[0])
+	case opConv:
+		v = convValue(ins[0], int(r.toBits), r.convSign)
+	case opMux:
+		for i, p := range preds {
+			if p != 0 {
+				v = ins[i]
+				break
+			}
+		}
+	case opCombine:
+		m.emit(a, ri, r, true, 1, t)
+		return true
+	}
+	m.emit(a, ri, r, false, v, t)
+	return true
+}
+
+func (m *vm) fireMerge(a *vact, ri int32, r *rule) bool {
+	if a.st.nodes[ri].full > 0 {
+		return false
+	}
+	for _, p := range r.srcPorts {
+		if a.st.ports[p].size() > 0 {
+			v := m.consume(a, p)
+			m.stats.OpsFired++
+			m.emit(a, ri, r, r.outTok, v, m.now+r.lat)
+			return true
+		}
+	}
+	return false
+}
+
+func (m *vm) fireEta(a *vact, ri int32, r *rule) bool {
+	st := a.st
+	if r.predArg.mode == argPort && st.ports[r.predArg.idx].size() == 0 {
+		return false
+	}
+	if r.dataArg.mode == argPort && st.ports[r.dataArg.idx].size() == 0 {
+		return false
+	}
+	// Peek the predicate: only a true predicate needs output capacity.
+	var predVal int64
+	switch r.predArg.mode {
+	case argImm:
+		predVal = r.predArg.imm
+	case argSlot:
+		predVal = st.slots[r.predArg.idx]
+	default:
+		q := &st.ports[r.predArg.idx]
+		predVal = q.v[0]
+	}
+	if predVal != 0 && st.nodes[ri].full > 0 {
+		return false
+	}
+	if r.predArg.mode == argPort {
+		m.consume(a, r.predArg.idx)
+	}
+	v := m.argVal(a, r.dataArg)
+	m.stats.OpsFired++
+	if predVal != 0 {
+		m.emit(a, ri, r, r.outTok, v, m.now+r.lat)
+	}
+	return true
+}
+
+func (m *vm) fireTokenGen(a *vact, ri int32, r *rule) bool {
+	st := a.st
+	ns := &st.nodes[ri]
+	// Absorb token inputs eagerly.
+	if st.ports[r.tokPort].size() > 0 {
+		m.consume(a, r.tokPort)
+		ns.counter++
+		m.stats.OpsFired++
+		return true
+	}
+	if r.predArg.mode == argPort && st.ports[r.predArg.idx].size() == 0 {
+		return false
+	}
+	var predVal int64
+	switch r.predArg.mode {
+	case argImm:
+		predVal = r.predArg.imm
+	case argSlot:
+		predVal = st.slots[r.predArg.idx]
+	default:
+		q := &st.ports[r.predArg.idx]
+		predVal = q.v[0]
+	}
+	if predVal != 0 {
+		if ns.counter <= 0 {
+			return false // wait for credit from the trailing loop
+		}
+		if ns.full > 0 {
+			return false
+		}
+		if r.predArg.mode == argPort {
+			m.consume(a, r.predArg.idx)
+		}
+		ns.counter--
+		m.stats.OpsFired++
+		m.emit(a, ri, r, true, 1, m.now+r.lat)
+		return true
+	}
+	// Loop finished: reset the credit counter.
+	if r.predArg.mode == argPort {
+		m.consume(a, r.predArg.idx)
+	}
+	ns.counter = r.tokN
+	m.stats.OpsFired++
+	return true
+}
+
+func (m *vm) fireMemOp(a *vact, ri int32, r *rule, pre bool) bool {
+	st := a.st
+	if !pre {
+		for _, p := range r.needPorts {
+			if st.ports[p].size() == 0 {
+				return false
+			}
+		}
+		if st.nodes[ri].full > 0 {
+			return false
+		}
+	}
+	ins := m.consumeClass(a, r.ins, &m.insBuf)
+	preds := m.consumeClass(a, r.preds, &m.predsBuf)
+	if len(r.toks) > 0 {
+		m.consumeClass(a, r.toks, &m.toksBuf)
+	}
+	m.stats.OpsFired++
+	if preds[0] == 0 {
+		// Squashed: arbitrary value, immediate token.
+		m.stats.NullMem++
+		if r.op == opLoad {
+			m.emit(a, ri, r, false, 0, m.now+1)
+		}
+		m.emit(a, ri, r, true, 1, m.now+1)
+		return true
+	}
+	addr := uint32(ins[0])
+	if r.op == opLoad {
+		m.stats.DynLoads++
+		done := m.msys.Submit(m.now, true, addr, int(r.bytes))
+		v := m.readMem(addr, int(r.bytes), r.loadSigned)
+		m.emit(a, ri, r, false, v, done)
+		m.emit(a, ri, r, true, 1, m.now+1)
+	} else {
+		m.stats.DynStores++
+		m.msys.Submit(m.now, false, addr, int(r.bytes))
+		m.writeMem(addr, int(r.bytes), ins[1])
+		m.emit(a, ri, r, true, 1, m.now+1)
+	}
+	if m.inj != nil && m.msys.TakeFault() {
+		n := a.gp.nodeByID[r.nodeID]
+		m.fail(fmt.Errorf("%w: %s at address 0x%x, cycle %d", dataflow.ErrMemFault, n, addr, m.now))
+	}
+	return true
+}
+
+func (m *vm) fireCall(a *vact, ri int32, r *rule, pre bool) bool {
+	st := a.st
+	if !pre {
+		for _, p := range r.needPorts {
+			if st.ports[p].size() == 0 {
+				return false
+			}
+		}
+		if st.nodes[ri].full > 0 {
+			return false
+		}
+	}
+	var ins []int64
+	if len(r.ins) > 0 {
+		ins = m.consumeClass(a, r.ins, &m.insBuf)
+	}
+	preds := m.consumeClass(a, r.preds, &m.predsBuf)
+	if len(r.toks) > 0 {
+		m.consumeClass(a, r.toks, &m.toksBuf)
+	}
+	m.stats.OpsFired++
+	if preds[0] == 0 {
+		if r.hasValue {
+			m.emit(a, ri, r, false, 0, m.now+1)
+		}
+		m.emit(a, ri, r, true, 1, m.now+1)
+		return true
+	}
+	if r.callee == nil {
+		m.fail(fmt.Errorf("%w: %s (extern declaration with no body?)", dataflow.ErrUnbuiltCall, r.calleeName))
+		return false
+	}
+	if m.nextActID >= m.cfg.MaxActivations {
+		m.fail(fmt.Errorf("%w: %d activations, calling %s at cycle %d",
+			dataflow.ErrActivationLimit, m.nextActID, r.calleeName, m.now))
+		return false
+	}
+	m.stats.Calls++
+	m.newActivation(r.callee, ins, ri, a)
+	return true
+}
+
+func (m *vm) fireReturn(a *vact, r *rule, pre bool) bool {
+	st := a.st
+	if !pre {
+		for _, p := range r.needPorts {
+			if st.ports[p].size() == 0 {
+				return false
+			}
+		}
+	}
+	var ins []int64
+	if len(r.ins) > 0 {
+		ins = m.consumeClass(a, r.ins, &m.insBuf)
+	}
+	if len(r.preds) > 0 {
+		m.consumeClass(a, r.preds, &m.predsBuf)
+	}
+	if len(r.toks) > 0 {
+		m.consumeClass(a, r.toks, &m.toksBuf)
+	}
+	m.stats.OpsFired++
+	var val int64
+	if len(ins) > 0 {
+		val = ins[0]
+	}
+	m.complete(a)
+	if a.retRule < 0 {
+		m.mainVal = val
+		m.mainDone = true
+		return true
+	}
+	parent := a.retAct
+	pr := &parent.gp.rules[a.retRule]
+	if pr.hasValue {
+		m.emit(parent, a.retRule, pr, false, val, m.now+1)
+	}
+	m.emit(parent, a.retRule, pr, true, 1, m.now+1)
+	return true
+}
+
+// --- arithmetic (inlined cminor.EvalBinOp without error allocation) ---
+
+// evalBin mirrors cminor.EvalBinOp over 32-bit values; division or
+// remainder by zero yields 0 (the interpreter maps the oracle's error to
+// 0 — hardware semantics) without allocating an error.
+func evalBin(op cminor.BinOpKind, l, r int64, uns bool) int64 {
+	li, ri := int32(l), int32(r)
+	lu, ru := uint32(l), uint32(r)
+	switch op {
+	case cminor.OpAdd:
+		return int64(li + ri)
+	case cminor.OpSub:
+		return int64(li - ri)
+	case cminor.OpMul:
+		return int64(li * ri)
+	case cminor.OpDiv:
+		if ri == 0 {
+			return 0
+		}
+		if uns {
+			return int64(int32(lu / ru))
+		}
+		if li == -1<<31 && ri == -1 {
+			return int64(li) // wraps like the sequential oracle
+		}
+		return int64(li / ri)
+	case cminor.OpRem:
+		if ri == 0 {
+			return 0
+		}
+		if uns {
+			return int64(int32(lu % ru))
+		}
+		if li == -1<<31 && ri == -1 {
+			return 0
+		}
+		return int64(li % ri)
+	case cminor.OpAnd:
+		return int64(li & ri)
+	case cminor.OpOr:
+		return int64(li | ri)
+	case cminor.OpXor:
+		return int64(li ^ ri)
+	case cminor.OpShl:
+		return int64(li << (ru & 31))
+	case cminor.OpShr:
+		if uns {
+			return int64(int32(lu >> (ru & 31)))
+		}
+		return int64(li >> (ru & 31))
+	case cminor.OpEq:
+		return b2i(li == ri)
+	case cminor.OpNe:
+		return b2i(li != ri)
+	case cminor.OpLt:
+		if uns {
+			return b2i(lu < ru)
+		}
+		return b2i(li < ri)
+	case cminor.OpLe:
+		if uns {
+			return b2i(lu <= ru)
+		}
+		return b2i(li <= ri)
+	case cminor.OpGt:
+		if uns {
+			return b2i(lu > ru)
+		}
+		return b2i(li > ri)
+	case cminor.OpGe:
+		if uns {
+			return b2i(lu >= ru)
+		}
+		return b2i(li >= ri)
+	case cminor.OpLogAnd:
+		return b2i(li != 0 && ri != 0)
+	case cminor.OpLogOr:
+		return b2i(li != 0 || ri != 0)
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func evalUn(op pegasus.UnOpKind, x int64) int64 {
+	switch op {
+	case pegasus.UNeg:
+		return int64(int32(-x))
+	case pegasus.UNot:
+		if x == 0 {
+			return 1
+		}
+		return 0
+	case pegasus.UBitNot:
+		return int64(int32(^x))
+	default: // pegasus.UBool
+		if x != 0 {
+			return 1
+		}
+		return 0
+	}
+}
+
+func convValue(v int64, bits int, signed bool) int64 {
+	switch {
+	case bits == 8 && signed:
+		return int64(int8(v))
+	case bits == 8:
+		return int64(uint8(v))
+	case bits == 16 && signed:
+		return int64(int16(v))
+	case bits == 16:
+		return int64(uint16(v))
+	default:
+		return int64(int32(v))
+	}
+}
+
+// --- memory data access (mirrors sim.go) ---
+
+func (m *vm) readMem(addr uint32, bytes int, signed bool) int64 {
+	if int(addr)+bytes > len(m.mem) {
+		return 0 // out-of-range reads yield 0, like an open bus
+	}
+	var raw uint32
+	for i := 0; i < bytes; i++ {
+		raw |= uint32(m.mem[addr+uint32(i)]) << (8 * i)
+	}
+	switch {
+	case bytes == 1 && signed:
+		return int64(int8(raw))
+	case bytes == 1:
+		return int64(uint8(raw))
+	case bytes == 2 && signed:
+		return int64(int16(raw))
+	case bytes == 2:
+		return int64(uint16(raw))
+	default:
+		return int64(int32(raw))
+	}
+}
+
+func (m *vm) writeMem(addr uint32, bytes int, v int64) {
+	if int(addr)+bytes > len(m.mem) {
+		return
+	}
+	for i := 0; i < bytes; i++ {
+		m.mem[addr+uint32(i)] = byte(v >> (8 * i))
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"spatial/internal/build"
 	"spatial/internal/cminor"
+	"spatial/internal/codegen"
 	"spatial/internal/dataflow"
 	"spatial/internal/faultsim"
 	"spatial/internal/interp"
@@ -44,6 +45,7 @@ type config struct {
 	sim      dataflow.Config
 	trc      trace.Config
 	deadline time.Duration
+	backend  Backend
 }
 
 type optionFunc func(*config)
@@ -78,6 +80,38 @@ func WithTrace(tc TraceConfig) Option {
 	return optionFunc(func(c *config) { c.trc = tc })
 }
 
+// Backend selects the execution engine behind Run/RunCtx/RunWith/
+// RunFaulted.
+type Backend uint8
+
+const (
+	// BackendInterpreted (the default) executes on the event-driven
+	// graph interpreter (internal/dataflow) — the reference engine and
+	// differential oracle.
+	BackendInterpreted Backend = iota
+	// BackendCompiled lowers each graph to specialized flat bytecode
+	// (internal/codegen) once, then executes the bytecode. Bit-identical
+	// to the interpreter (values, cycles, events) and several times
+	// faster. Observed runs — RunTraced and RunProfiled — always use the
+	// interpreter regardless of this setting: observers hook its
+	// machinery, and observed runs are not hot paths.
+	BackendCompiled
+)
+
+// String names the backend with the wire-level names ("interp",
+// "compiled") used by the api package and the CLI flags.
+func (b Backend) String() string {
+	if b == BackendCompiled {
+		return "compiled"
+	}
+	return "interp"
+}
+
+// WithBackend selects the execution engine (default BackendInterpreted).
+func WithBackend(b Backend) Option {
+	return optionFunc(func(c *config) { c.backend = b })
+}
+
 // WithDeadline bounds every Run of the compiled program by a wall-clock
 // duration: a run past the deadline aborts with an ErrSim-classed error
 // wrapping dataflow.ErrCanceled. Zero (the default) means no wall-clock
@@ -106,11 +140,19 @@ type Compiled struct {
 	// Deadline is the wall-clock budget each Run gets (see WithDeadline);
 	// zero means unbounded.
 	Deadline time.Duration
+	// Backend is the execution engine Run/RunCtx/RunWith/RunFaulted use
+	// (see WithBackend); RunTraced and RunProfiled always interpret.
+	Backend Backend
 
 	// shared is the prebuilt per-graph structure table every run of this
 	// program reuses (built once, on first use, under sharedOnce).
 	sharedOnce sync.Once
 	shared     *dataflow.Shared
+
+	// compiledMod is the lowered bytecode module BackendCompiled runs
+	// (built once, on first use, under compiledOnce).
+	compiledOnce sync.Once
+	compiledMod  *codegen.Module
 }
 
 // sharedInfo returns the program's prebuilt simulation structures,
@@ -118,6 +160,13 @@ type Compiled struct {
 func (c *Compiled) sharedInfo() *dataflow.Shared {
 	c.sharedOnce.Do(func() { c.shared = dataflow.Prebuild(c.Program) })
 	return c.shared
+}
+
+// compiledInfo returns the program's lowered bytecode module, lowering it
+// on first use. Concurrent first calls lower exactly once.
+func (c *Compiled) compiledInfo() *codegen.Module {
+	c.compiledOnce.Do(func() { c.compiledMod = codegen.Compile(c.Program) })
+	return c.compiledMod
 }
 
 // CompileSource parses, checks, builds, and optimizes a cMinor program.
@@ -153,7 +202,8 @@ func CompileSource(src string, opts ...Option) (cp *Compiled, err error) {
 	}
 	// Normalize once here: the Config this Compiled reports is the Config
 	// its runs actually execute under, zero fields already defaulted.
-	return &Compiled{Program: p, Source: prog, Level: cfg.level, Sim: cfg.sim.Normalized(), Trace: cfg.trc, Deadline: cfg.deadline}, nil
+	return &Compiled{Program: p, Source: prog, Level: cfg.level, Sim: cfg.sim.Normalized(),
+		Trace: cfg.trc, Deadline: cfg.deadline, Backend: cfg.backend}, nil
 }
 
 // SimConfig configures a spatial execution.
@@ -210,7 +260,11 @@ func (c *Compiled) RunCtx(ctx context.Context, entry string, args []int64) (res 
 	defer guard(&err)
 	ctx, cancel := c.deadlineCtx(ctx)
 	defer cancel()
-	res, err = c.sharedInfo().RunCtx(ctx, entry, args, c.simConfig())
+	if c.Backend == BackendCompiled {
+		res, err = c.compiledInfo().RunCtx(ctx, entry, args, c.simConfig())
+	} else {
+		res, err = c.sharedInfo().RunCtx(ctx, entry, args, c.simConfig())
+	}
 	return res, classify(ErrSim, err)
 }
 
@@ -222,7 +276,11 @@ func (c *Compiled) RunFaulted(ctx context.Context, entry string, args []int64, i
 	defer guard(&err)
 	ctx, cancel := c.deadlineCtx(ctx)
 	defer cancel()
-	res, err = c.sharedInfo().RunFaulted(ctx, entry, args, c.simConfig(), inj)
+	if c.Backend == BackendCompiled {
+		res, err = c.compiledInfo().RunFaulted(ctx, entry, args, c.simConfig(), inj)
+	} else {
+		res, err = c.sharedInfo().RunFaulted(ctx, entry, args, c.simConfig(), inj)
+	}
 	return res, classify(ErrSim, err)
 }
 
@@ -231,7 +289,11 @@ func (c *Compiled) RunWith(entry string, args []int64, cfg SimConfig) (res *SimR
 	defer guard(&err)
 	ctx, cancel := c.deadlineCtx(nil)
 	defer cancel()
-	res, err = c.sharedInfo().RunCtx(ctx, entry, args, cfg)
+	if c.Backend == BackendCompiled {
+		res, err = c.compiledInfo().RunCtx(ctx, entry, args, cfg)
+	} else {
+		res, err = c.sharedInfo().RunCtx(ctx, entry, args, cfg)
+	}
 	return res, classify(ErrSim, err)
 }
 

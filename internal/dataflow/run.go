@@ -109,6 +109,20 @@ func RunFaulted(ctx context.Context, p *pegasus.Program, entry string, args []in
 	return res, err
 }
 
+// RunEvents is Run with an observer invoked for every processed event in
+// execution order: (time, seq) identify the event's position in the
+// global total order, act is the activation ID, and node the firing
+// node's ID. It exists so differential tests can assert that another
+// engine replays the interpreter's event stream exactly, not just its
+// final statistics.
+func RunEvents(p *pegasus.Program, entry string, args []int64, cfg Config,
+	hook func(time, seq int64, act, node int)) (*Result, error) {
+	res, _, err := runMachine(p, entry, args, cfg, runOpts{
+		evHook: func(t, s int64, a int, n *pegasus.Node) { hook(t, s, a, n.ID) },
+	})
+	return res, err
+}
+
 // RunInspect is Run but also returns an Inspector for post-mortem memory
 // reads.
 func RunInspect(p *pegasus.Program, entry string, args []int64, cfg Config) (*Result, *Inspector, error) {

@@ -184,8 +184,7 @@ func (r *StuckReport) ContainsNode(graph string, nodeID int) bool {
 
 // stuckReport builds the diagnosis from the machine's current state.
 func (m *machine) stuckReport(kind string) *StuckReport {
-	r := &StuckReport{Kind: kind, Cycle: m.now}
-	index := map[actNodeKey]int{}
+	var blocked []BlockedNode
 	for _, a := range m.acts {
 		if a.done {
 			continue
@@ -194,16 +193,24 @@ func (m *machine) stuckReport(kind string) *StuckReport {
 			if n.Dead || a.gi.static[n.ID] || n.Kind == pegasus.KEntryTok {
 				continue
 			}
-			b, blocked := m.classifyBlocked(a, n)
-			if !blocked {
+			b, isBlocked := m.classifyBlocked(a, n)
+			if !isBlocked {
 				continue
 			}
-			index[b.key()] = len(r.Blocked)
-			r.Blocked = append(r.Blocked, b)
+			blocked = append(blocked, b)
 		}
 	}
-	// Partially-fed nodes first; stable within groups.
-	sortBlocked(r.Blocked, index)
+	return NewStuckReport(kind, m.now, blocked)
+}
+
+// NewStuckReport assembles a StuckReport from an already-classified
+// blocked set: it orders the nodes (partially-fed first) and extracts
+// the largest wait cycle. Alternative engines (internal/codegen) build
+// their BlockedNode lists natively and share the ordering and SCC logic
+// through this constructor, so both backends render identical reports.
+func NewStuckReport(kind string, cycle int64, blocked []BlockedNode) *StuckReport {
+	r := &StuckReport{Kind: kind, Cycle: cycle, Blocked: blocked}
+	sortBlocked(r.Blocked, map[actNodeKey]int{})
 	r.SCC = waitSCC(r.Blocked)
 	return r
 }

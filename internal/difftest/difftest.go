@@ -1,7 +1,11 @@
 // Package difftest is the differential testing harness behind the fuzzer:
 // it runs one source program on the dataflow simulator at every
 // optimization level — optionally under injected faults — and checks each
-// result against the sequential interpreter oracle.
+// result against the sequential interpreter oracle. Every configuration
+// additionally runs on both execution backends (the event-driven
+// interpreter and the compiled flat-bytecode VM), which must agree
+// bit-for-bit: identical Result on completion, identical diagnosis on
+// abort, on clean and on perturbed schedules alike.
 //
 // The contract it enforces is the robustness claim of a self-timed
 // circuit:
@@ -70,7 +74,7 @@ func check(src string, maxCycles int64) (baseline, error) {
 		maxCycles = 32*seqCycles + 200_000
 	}
 	for _, lvl := range Levels {
-		cp, err := compileAt(src, lvl, maxCycles)
+		cp, err := compileAt(src, lvl, maxCycles, core.BackendInterpreted)
 		if err != nil {
 			return b, err
 		}
@@ -82,6 +86,21 @@ func check(src string, maxCycles int64) (baseline, error) {
 			return b, fmt.Errorf("difftest: O%d checksum mismatch: simulator %d, oracle %d", lvl, res.Value, oracle)
 		}
 		b.cycles[lvl] = res.Stats.Cycles
+
+		// The compiled backend must be bit-identical to the interpreter —
+		// not just the checksum, but every statistic (events, cycles,
+		// per-class firing counts, memory-system counters).
+		cpc, err := compileAt(src, lvl, maxCycles, core.BackendCompiled)
+		if err != nil {
+			return b, err
+		}
+		resC, err := cpc.Run(Entry, nil)
+		if err != nil {
+			return b, fmt.Errorf("difftest: O%d compiled run: %w", lvl, err)
+		}
+		if *resC != *res {
+			return b, fmt.Errorf("difftest: O%d BACKEND DIVERGENCE:\n interpreted %+v\n compiled    %+v", lvl, res, resC)
+		}
 	}
 	return b, nil
 }
@@ -123,37 +142,75 @@ func CheckFaults(src string, seed int64, maxCycles int64) (FaultReport, error) {
 		// Budget fault runs relative to the clean run: absorbed delays
 		// stretch the schedule a little, livelocks are cut off fast.
 		budget := clean.cycles[lvl]*8 + 4096
-		cp, err := compileAt(src, lvl, budget)
+		cp, err := compileAt(src, lvl, budget, core.BackendInterpreted)
+		if err != nil {
+			return rep, err
+		}
+		cpc, err := compileAt(src, lvl, budget, core.BackendCompiled)
 		if err != nil {
 			return rep, err
 		}
 		mix := seed ^ int64(lvl)*0x9e3779b9
+		// Injectors are stateful (they consume fault occurrences as the
+		// run delivers events), so each backend replays against a fresh
+		// injector built from the same plan.
 		runs := []struct {
 			name    string
-			inj     *faultsim.Injector
+			inj     func() *faultsim.Injector
 			mustAbs bool // delay-only: any detection is a contract violation
 			isDrop  bool // lossy: a wrong checksum is the oracle doing its job
 		}{
-			{"jitter", faultsim.NewJitter(mix, 0.05, 8), true, false},
-			{"freeze", faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
-				{Op: faultsim.Freeze, Node: -1, Edge: -1, Nth: 1 + int(mod(mix, 40)), Cycles: 40},
-			}}), true, false},
-			{"mem-stretch", faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
-				{Op: faultsim.MemStretch, Node: -1, Edge: -1, Nth: 1 + int(mod(mix>>8, 16)), Cycles: 64},
-			}}), true, false},
-			{"drop-value", faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
-				{Op: faultsim.Drop, Node: -1, Edge: -1, Nth: 1 + int(mod(mix>>16, 200))},
-			}}), false, true},
-			{"drop-token", faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
-				{Op: faultsim.Drop, Node: -1, Edge: -1, Token: true, Nth: 1 + int(mod(mix>>24, 100))},
-			}}), false, true},
-			{"mem-fail", faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
-				{Op: faultsim.MemFail, Node: -1, Edge: -1, Nth: 1 + int(mod(mix>>32, 16))},
-			}}), false, false},
+			{"jitter", func() *faultsim.Injector { return faultsim.NewJitter(mix, 0.05, 8) }, true, false},
+			{"freeze", func() *faultsim.Injector {
+				return faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
+					{Op: faultsim.Freeze, Node: -1, Edge: -1, Nth: 1 + int(mod(mix, 40)), Cycles: 40},
+				}})
+			}, true, false},
+			{"mem-stretch", func() *faultsim.Injector {
+				return faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
+					{Op: faultsim.MemStretch, Node: -1, Edge: -1, Nth: 1 + int(mod(mix>>8, 16)), Cycles: 64},
+				}})
+			}, true, false},
+			{"drop-value", func() *faultsim.Injector {
+				return faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
+					{Op: faultsim.Drop, Node: -1, Edge: -1, Nth: 1 + int(mod(mix>>16, 200))},
+				}})
+			}, false, true},
+			{"drop-token", func() *faultsim.Injector {
+				return faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
+					{Op: faultsim.Drop, Node: -1, Edge: -1, Token: true, Nth: 1 + int(mod(mix>>24, 100))},
+				}})
+			}, false, true},
+			{"mem-fail", func() *faultsim.Injector {
+				return faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
+					{Op: faultsim.MemFail, Node: -1, Edge: -1, Nth: 1 + int(mod(mix>>32, 16))},
+				}})
+			}, false, false},
 		}
 		for _, fr := range runs {
-			res, err := cp.RunFaulted(context.Background(), Entry, nil, fr.inj)
-			triggered := len(fr.inj.Triggered()) > 0
+			injI := fr.inj()
+			res, err := cp.RunFaulted(context.Background(), Entry, nil, injI)
+			triggered := len(injI.Triggered()) > 0
+
+			// Both backends must replay the fault identically: the same
+			// deliveries perturbed, the same outcome — identical Result on
+			// completion, identical error text (stuck report included) on
+			// abort. This is the strongest form of the bit-identity claim:
+			// it must hold on perturbed schedules, not just clean ones.
+			injC := fr.inj()
+			resC, errC := cpc.RunFaulted(context.Background(), Entry, nil, injC)
+			switch {
+			case (err == nil) != (errC == nil):
+				return rep, fmt.Errorf("difftest: O%d %s: BACKEND DIVERGENCE: interpreted err=%v, compiled err=%v", lvl, fr.name, err, errC)
+			case err == nil && *res != *resC:
+				return rep, fmt.Errorf("difftest: O%d %s: BACKEND DIVERGENCE:\n interpreted %+v\n compiled    %+v", lvl, fr.name, res, resC)
+			case err != nil && err.Error() != errC.Error():
+				return rep, fmt.Errorf("difftest: O%d %s: BACKEND DIVERGENCE on error:\n interpreted %v\n compiled    %v", lvl, fr.name, err, errC)
+			}
+			if len(injI.Triggered()) != len(injC.Triggered()) {
+				return rep, fmt.Errorf("difftest: O%d %s: BACKEND DIVERGENCE: %d faults triggered interpreted, %d compiled",
+					lvl, fr.name, len(injI.Triggered()), len(injC.Triggered()))
+			}
 			switch {
 			case err == nil && res.Value == oracle:
 				rep.Absorbed++
@@ -165,7 +222,7 @@ func CheckFaults(src string, seed int64, maxCycles int64) (FaultReport, error) {
 				rep.OracleCaught++
 			case err == nil:
 				return rep, fmt.Errorf("difftest: O%d %s: SILENT CORRUPTION: simulator %d, oracle %d (faults: %v)",
-					lvl, fr.name, res.Value, oracle, fr.inj.Triggered())
+					lvl, fr.name, res.Value, oracle, injI.Triggered())
 			case fr.mustAbs:
 				return rep, fmt.Errorf("difftest: O%d %s: delay-only fault was not absorbed: %w", lvl, fr.name, err)
 			case errors.Is(err, core.ErrSim) && triggered:
@@ -197,10 +254,10 @@ func runOracle(src string) (int64, int64, error) {
 	return res.Value, res.SeqCycles, nil
 }
 
-func compileAt(src string, lvl opt.Level, maxCycles int64) (*core.Compiled, error) {
+func compileAt(src string, lvl opt.Level, maxCycles int64, backend core.Backend) (*core.Compiled, error) {
 	sim := core.DefaultSim()
 	sim.MaxCycles = maxCycles
-	cp, err := core.CompileSource(src, core.WithLevel(lvl), core.WithSim(sim))
+	cp, err := core.CompileSource(src, core.WithLevel(lvl), core.WithSim(sim), core.WithBackend(backend))
 	if err != nil {
 		return nil, fmt.Errorf("difftest: O%d compile: %w", lvl, err)
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"spatial/internal/codegen"
 	"spatial/internal/dataflow"
 	"spatial/internal/opt"
 	"spatial/internal/workloads"
@@ -20,13 +21,29 @@ var BenchSet = []string{"adpcm_e", "epic_e", "g721_e", "mesa", "129.compress"}
 // BenchLevels are the optimization levels the baseline sweeps.
 var BenchLevels = []opt.Level{opt.None, opt.Basic, opt.Medium, opt.Full}
 
-// BenchRow is one (workload, level) measurement of simulator throughput.
-// Value/Cycles/Events identify the run semantically — they must be
-// bit-identical across engine changes — while the rate metrics track the
-// engine's speed.
+// Execution engines the baseline measures. The names match the BENCH.json
+// row labels: "interp" is the event-driven graph interpreter, "codegen"
+// the compiled flat-bytecode VM.
+const (
+	BackendInterp  = "interp"
+	BackendCodegen = "codegen"
+)
+
+// BenchBackends is the default backend sweep: both engines, interpreter
+// first so each codegen row can carry its same-run speedup.
+var BenchBackends = []string{BackendInterp, BackendCodegen}
+
+// BenchRow is one (workload, level, backend) measurement of simulator
+// throughput. Value/Cycles/Events identify the run semantically — they
+// must be bit-identical across engine changes AND across backends —
+// while the rate metrics track the engine's speed.
 type BenchRow struct {
 	Workload string `json:"workload"`
 	Level    int    `json:"level"`
+	// Backend is the engine measured: "interp" or "codegen". Empty in
+	// reports predating the compiled backend, which measured only the
+	// interpreter.
+	Backend string `json:"backend,omitempty"`
 
 	Value  int64 `json:"value"`
 	Cycles int64 `json:"cycles"`
@@ -37,6 +54,11 @@ type BenchRow struct {
 	NsPerEvent  float64 `json:"ns_per_event"`
 	AllocsPerEv float64 `json:"allocs_per_event"`
 	SimCycSec   float64 `json:"sim_cycles_per_sec"`
+	// Speedup is this row's ns/event advantage over the interpreter row
+	// measured in the same sweep (codegen rows only, and only when the
+	// sweep ran both backends) — a paired same-run, same-host ratio, not
+	// a comparison against a recorded baseline.
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // BenchReport is the serialized form of one baseline sweep (BENCH.json).
@@ -53,13 +75,20 @@ type BenchReport struct {
 }
 
 // Bench measures simulator throughput for the named workloads at every
-// level in BenchLevels. Each (workload, level) pair is compiled once and
+// level in BenchLevels on every backend in backends (nil means both
+// engines). Each (workload, level, backend) triple is compiled once and
 // then run repeatedly for at least minTime; the first run's result is
 // the reference, and every repeat must reproduce it bit-identically
 // (value and cycle count) or Bench fails — a perf baseline that drifts
-// semantically is worthless. Allocation counts come from the runtime's
-// cumulative malloc counter across the timed runs.
-func Bench(names []string, minTime time.Duration) (*BenchReport, error) {
+// semantically is worthless. When the sweep covers both backends, their
+// references must also agree bit-for-bit (the full Result, statistics
+// included), and each codegen row carries its same-sweep speedup over
+// the interpreter. Allocation counts come from the runtime's cumulative
+// malloc counter across the timed runs.
+func Bench(names []string, minTime time.Duration, backends []string) (*BenchReport, error) {
+	if len(backends) == 0 {
+		backends = BenchBackends
+	}
 	rep := &BenchReport{
 		GoVersion: runtime.Version(),
 		CPUs:      runtime.NumCPU(),
@@ -71,29 +100,57 @@ func Bench(names []string, minTime time.Duration) (*BenchReport, error) {
 			return nil, fmt.Errorf("bench: unknown workload %q", name)
 		}
 		for _, level := range BenchLevels {
-			row, err := benchOne(w, level, minTime)
-			if err != nil {
-				return nil, err
+			var ref *dataflow.Result
+			interpNs := 0.0
+			for _, backend := range backends {
+				row, rowRef, err := benchOne(w, level, minTime, backend)
+				if err != nil {
+					return nil, err
+				}
+				if ref == nil {
+					ref = rowRef
+				} else if *rowRef != *ref {
+					return nil, fmt.Errorf("bench: %s @%s: backend divergence:\n %s %+v\n %s %+v",
+						w.Name, level, backends[0], ref, backend, rowRef)
+				}
+				switch backend {
+				case BackendInterp:
+					interpNs = row.NsPerEvent
+				case BackendCodegen:
+					if interpNs > 0 {
+						row.Speedup = interpNs / row.NsPerEvent
+					}
+				}
+				rep.Rows = append(rep.Rows, row)
 			}
-			rep.Rows = append(rep.Rows, row)
 		}
 	}
 	return rep, nil
 }
 
-func benchOne(w *workloads.Workload, level opt.Level, minTime time.Duration) (BenchRow, error) {
-	row := BenchRow{Workload: w.Name, Level: int(level)}
+func benchOne(w *workloads.Workload, level opt.Level, minTime time.Duration, backend string) (BenchRow, *dataflow.Result, error) {
+	row := BenchRow{Workload: w.Name, Level: int(level), Backend: backend}
 	p, err := compileWorkload(w, level, nil)
 	if err != nil {
-		return row, err
+		return row, nil, err
 	}
 	cfg := dataflow.DefaultConfig()
+	var run func() (*dataflow.Result, error)
+	switch backend {
+	case BackendInterp:
+		run = func() (*dataflow.Result, error) { return dataflow.Run(p, w.Entry, nil, cfg) }
+	case BackendCodegen:
+		mod := codegen.Compile(p)
+		run = func() (*dataflow.Result, error) { return mod.Run(w.Entry, nil, cfg) }
+	default:
+		return row, nil, fmt.Errorf("bench: unknown backend %q (want %q or %q)", backend, BackendInterp, BackendCodegen)
+	}
 
 	// Warm-up run: captures the reference result and fills the engine's
 	// pools so the timed loop measures the steady state.
-	ref, err := dataflow.Run(p, w.Entry, nil, cfg)
+	ref, err := run()
 	if err != nil {
-		return row, fmt.Errorf("%s @%s: %w", w.Name, level, err)
+		return row, nil, fmt.Errorf("%s @%s [%s]: %w", w.Name, level, backend, err)
 	}
 	row.Value, row.Cycles, row.Events = ref.Value, ref.Stats.Cycles, ref.Stats.Events
 
@@ -103,13 +160,13 @@ func benchOne(w *workloads.Workload, level opt.Level, minTime time.Duration) (Be
 	var elapsed time.Duration
 	runs := 0
 	for elapsed < minTime || runs < 2 {
-		res, err := dataflow.Run(p, w.Entry, nil, cfg)
+		res, err := run()
 		if err != nil {
-			return row, fmt.Errorf("%s @%s: %w", w.Name, level, err)
+			return row, nil, fmt.Errorf("%s @%s [%s]: %w", w.Name, level, backend, err)
 		}
 		if res.Value != ref.Value || res.Stats.Cycles != ref.Stats.Cycles || res.Stats.Events != ref.Stats.Events {
-			return row, fmt.Errorf("%s @%s: nondeterministic: run %d gave (value %d, cycles %d, events %d), reference (%d, %d, %d)",
-				w.Name, level, runs, res.Value, res.Stats.Cycles, res.Stats.Events, ref.Value, ref.Stats.Cycles, ref.Stats.Events)
+			return row, nil, fmt.Errorf("%s @%s [%s]: nondeterministic: run %d gave (value %d, cycles %d, events %d), reference (%d, %d, %d)",
+				w.Name, level, backend, runs, res.Value, res.Stats.Cycles, res.Stats.Events, ref.Value, ref.Stats.Cycles, ref.Stats.Events)
 		}
 		runs++
 		elapsed = time.Since(start)
@@ -122,7 +179,7 @@ func benchOne(w *workloads.Workload, level opt.Level, minTime time.Duration) (Be
 	row.NsPerEvent = float64(elapsed.Nanoseconds()) / totalEvents
 	row.AllocsPerEv = float64(ms1.Mallocs-ms0.Mallocs) / totalEvents
 	row.SimCycSec = float64(row.Cycles) * float64(runs) / elapsed.Seconds()
-	return row, nil
+	return row, ref, nil
 }
 
 // MaxAllocsPerEvent returns the worst allocs/event across the report —
@@ -147,11 +204,25 @@ func (r *BenchReport) Benchstat() string {
 		if rows[i].Workload != rows[j].Workload {
 			return rows[i].Workload < rows[j].Workload
 		}
-		return rows[i].Level < rows[j].Level
+		if rows[i].Level != rows[j].Level {
+			return rows[i].Level < rows[j].Level
+		}
+		return rows[i].Backend < rows[j].Backend
 	})
 	for _, row := range rows {
-		fmt.Fprintf(&b, "BenchmarkSim/%s/O%d %d %.0f ns/op %.1f ns/event %.4f allocs/event %.0f sim-cycles/sec\n",
-			row.Workload, row.Level, row.Runs, row.NsPerRun, row.NsPerEvent, row.AllocsPerEv, row.SimCycSec)
+		// Interpreter rows keep the pre-backend benchmark names so
+		// benchstat can still diff against older BENCH baselines; codegen
+		// rows get their own name segment.
+		name := fmt.Sprintf("BenchmarkSim/%s/O%d", row.Workload, row.Level)
+		if row.Backend == BackendCodegen {
+			name += "/" + BackendCodegen
+		}
+		fmt.Fprintf(&b, "%s %d %.0f ns/op %.1f ns/event %.4f allocs/event %.0f sim-cycles/sec",
+			name, row.Runs, row.NsPerRun, row.NsPerEvent, row.AllocsPerEv, row.SimCycSec)
+		if row.Speedup > 0 {
+			fmt.Fprintf(&b, " %.2f speedup", row.Speedup)
+		}
+		b.WriteString("\n")
 	}
 	for _, row := range r.Parallel {
 		fmt.Fprintf(&b, "BenchmarkParallel/%s/W%d %d %.0f ns/op %.1f ns/event %.2f runs/sec %.2f speedup\n",
@@ -164,12 +235,20 @@ func (r *BenchReport) Benchstat() string {
 func FormatBench(r *BenchReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Simulator throughput baseline (%s, benchtime %s)\n", r.GoVersion, r.BenchTime)
-	fmt.Fprintf(&b, "%-14s %-5s %12s %12s %10s %12s %14s\n",
-		"workload", "level", "cycles", "events", "ns/event", "allocs/ev", "sim-cyc/sec")
+	fmt.Fprintf(&b, "%-14s %-5s %-8s %12s %12s %10s %12s %14s %8s\n",
+		"workload", "level", "backend", "cycles", "events", "ns/event", "allocs/ev", "sim-cyc/sec", "speedup")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-14s O%-4d %12d %12d %10.1f %12.4f %14.0f\n",
-			row.Workload, row.Level, row.Cycles, row.Events,
+		backend := row.Backend
+		if backend == "" {
+			backend = BackendInterp
+		}
+		fmt.Fprintf(&b, "%-14s O%-4d %-8s %12d %12d %10.1f %12.4f %14.0f",
+			row.Workload, row.Level, backend, row.Cycles, row.Events,
 			row.NsPerEvent, row.AllocsPerEv, row.SimCycSec)
+		if row.Speedup > 0 {
+			fmt.Fprintf(&b, " %7.2fx", row.Speedup)
+		}
+		b.WriteString("\n")
 	}
 	if len(r.Parallel) > 0 {
 		b.WriteString("\n")

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBenchPairedBackends drives one workload through the default
+// dual-backend sweep: rows must come in (interp, codegen) pairs per
+// level, each codegen row must carry a same-run speedup, and Bench's
+// internal cross-backend reference check must have held (it returns an
+// error otherwise). Timings are noise at this benchtime — shape and
+// invariants are the subject, not rates.
+func TestBenchPairedBackends(t *testing.T) {
+	rep, err := Bench([]string{"adpcm_e"}, 20*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(BenchLevels); len(rep.Rows) != want {
+		t.Fatalf("rows = %d, want %d (one pair per level)", len(rep.Rows), want)
+	}
+	for i := 0; i < len(rep.Rows); i += 2 {
+		ri, rc := rep.Rows[i], rep.Rows[i+1]
+		if ri.Backend != BackendInterp || rc.Backend != BackendCodegen {
+			t.Fatalf("pair %d: backends (%q, %q), want (%q, %q)", i/2, ri.Backend, rc.Backend, BackendInterp, BackendCodegen)
+		}
+		if ri.Level != rc.Level || ri.Workload != rc.Workload {
+			t.Errorf("pair %d: mismatched pairing: %+v vs %+v", i/2, ri, rc)
+		}
+		if ri.Value != rc.Value || ri.Cycles != rc.Cycles || ri.Events != rc.Events {
+			t.Errorf("pair %d: semantic divergence across backends: %+v vs %+v", i/2, ri, rc)
+		}
+		if rc.Speedup <= 0 {
+			t.Errorf("pair %d: codegen row missing speedup: %+v", i/2, rc)
+		}
+		if ri.Speedup != 0 {
+			t.Errorf("pair %d: interp row carries a speedup: %+v", i/2, ri)
+		}
+	}
+
+	out := FormatBench(rep)
+	if !strings.Contains(out, BackendCodegen) || !strings.Contains(out, "speedup") {
+		t.Errorf("FormatBench missing backend/speedup columns:\n%s", out)
+	}
+	bs := rep.Benchstat()
+	if !strings.Contains(bs, "BenchmarkSim/adpcm_e/O3/codegen") {
+		t.Errorf("Benchstat missing codegen lines:\n%s", bs)
+	}
+	if !strings.Contains(bs, "BenchmarkSim/adpcm_e/O3 ") {
+		t.Errorf("Benchstat renamed the interp lines (breaks old-baseline diffs):\n%s", bs)
+	}
+}
+
+// TestBenchSingleBackend pins the -backend interp|compiled paths: a
+// single-engine sweep yields one row per level and no speedup column.
+func TestBenchSingleBackend(t *testing.T) {
+	for _, backend := range []string{BackendInterp, BackendCodegen} {
+		rep, err := Bench([]string{"adpcm_e"}, time.Millisecond, []string{backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Rows) != len(BenchLevels) {
+			t.Fatalf("[%s] rows = %d, want %d", backend, len(rep.Rows), len(BenchLevels))
+		}
+		for _, row := range rep.Rows {
+			if row.Backend != backend {
+				t.Errorf("[%s] row backend = %q", backend, row.Backend)
+			}
+			if row.Speedup != 0 {
+				t.Errorf("[%s] single-backend row carries a speedup: %+v", backend, row)
+			}
+		}
+	}
+	if _, err := Bench([]string{"adpcm_e"}, time.Millisecond, []string{"jit"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

@@ -249,8 +249,15 @@ type System struct {
 
 	// outstanding completion times (bounded by QueueSize).
 	outstanding []int64
-	// issued[t % window] counts issues at cycle t for port limiting.
-	issueTimes map[int64]int
+	// Per-cycle issue counts for port limiting. Submit times are
+	// non-decreasing (both simulation engines submit at the current
+	// cycle), so counts live in a ring of issueWindow cycles starting at
+	// issueBase (the highest submit time seen); the rare probe beyond the
+	// window — a request stalled far into the future — falls back to the
+	// overflow map.
+	issueCnt  []int32
+	issueBase int64
+	issueOvf  map[int64]int32
 
 	l1, l2 *cache
 	tlb    *tlbModel
@@ -282,7 +289,7 @@ func (s *System) TakeFault() bool {
 // New creates a memory system.
 func New(cfg Config) *System {
 	cfg = cfg.withDefaults()
-	s := &System{cfg: cfg, issueTimes: map[int64]int{}}
+	s := &System{cfg: cfg, issueCnt: make([]int32, issueWindow)}
 	if cfg.Kind == Realistic {
 		s.l1 = newCache(cfg.L1Bytes, cfg.LineBytes, 2)
 		s.l2 = newCache(cfg.L2Bytes, cfg.LineBytes, 4)
@@ -322,11 +329,12 @@ func (s *System) Submit(t int64, isLoad bool, addr uint32, bytes int) int64 {
 		s.outstanding = append(s.outstanding[:idx], s.outstanding[idx+1:]...)
 	}
 	// Wait for a port.
-	for s.issueTimes[t] >= s.cfg.Ports {
+	s.issueAdvance(start)
+	for int(s.issueAt(t)) >= s.cfg.Ports {
 		t++
 	}
-	port := s.issueTimes[t]
-	s.issueTimes[t]++
+	port := int(s.issueAt(t))
+	s.issueAdd(t)
 	s.stats.StallCycles += t - start
 	var done int64
 	level := LvlPerfect
@@ -354,24 +362,60 @@ func (s *System) Submit(t int64, isLoad bool, addr uint32, bytes int) int64 {
 		}
 	}
 	s.outstanding = append(s.outstanding, done)
-	s.gcIssueTimes(t)
 	if s.obs != nil {
 		s.obs.MemEvent(ev)
 	}
 	return done
 }
 
-// gcIssueTimes drops per-cycle issue counts older than the horizon to
-// bound memory use across long simulations.
-func (s *System) gcIssueTimes(now int64) {
-	if len(s.issueTimes) < 4096 {
+// issueWindow is the span of cycles whose issue counts live in the
+// ring; stalls beyond it spill to the overflow map.
+const issueWindow = 1024
+
+// issueAdvance moves the ring window forward to a new submit time,
+// retiring counts for cycles that can never be probed again (every
+// probe is at or above its request's submit time, and submit times are
+// non-decreasing) and pulling overflow entries that fell into range.
+func (s *System) issueAdvance(t int64) {
+	if t <= s.issueBase {
 		return
 	}
-	for c := range s.issueTimes {
-		if c < now-64 {
-			delete(s.issueTimes, c)
+	if adv := t - s.issueBase; adv >= issueWindow {
+		clear(s.issueCnt)
+	} else {
+		for c := s.issueBase; c < t; c++ {
+			s.issueCnt[c&(issueWindow-1)] = 0
 		}
 	}
+	s.issueBase = t
+	if len(s.issueOvf) > 0 {
+		for c, n := range s.issueOvf {
+			if c < t {
+				delete(s.issueOvf, c)
+			} else if c < t+issueWindow {
+				s.issueCnt[c&(issueWindow-1)] = n
+				delete(s.issueOvf, c)
+			}
+		}
+	}
+}
+
+func (s *System) issueAt(c int64) int32 {
+	if c < s.issueBase+issueWindow {
+		return s.issueCnt[c&(issueWindow-1)]
+	}
+	return s.issueOvf[c]
+}
+
+func (s *System) issueAdd(c int64) {
+	if c < s.issueBase+issueWindow {
+		s.issueCnt[c&(issueWindow-1)]++
+		return
+	}
+	if s.issueOvf == nil {
+		s.issueOvf = map[int64]int32{}
+	}
+	s.issueOvf[c]++
 }
 
 func (s *System) accessLatency(t int64, addr uint32, bytes int) (int64, Level, bool) {

@@ -41,8 +41,16 @@ func programKey(p api.Program) (cacheKey, error) {
 	if err := sim.Validate(); err != nil {
 		return cacheKey{}, err
 	}
+	backend, err := backendOf(p.Backend)
+	if err != nil {
+		return cacheKey{}, err
+	}
 	h := sha256.New()
-	fmt.Fprintf(h, "v1\x00level=%d\x00", level)
+	// The backend keys via its normalized name, so "" and "interp"
+	// collapse onto one entry while "compiled" gets its own — a cached
+	// Compiled lazily builds the selected engine's structures, and its
+	// Backend field is immutable after CompileSource.
+	fmt.Fprintf(h, "v1\x00level=%d\x00backend=%s\x00", level, backend)
 	if ps := passesOf(p.Passes); ps != nil {
 		fmt.Fprintf(h, "passes=%#v\x00", *ps)
 	}

@@ -63,12 +63,20 @@ func TestKeyNormalization(t *testing.T) {
 		t.Error("EdgeCap 0 and EdgeCap 1 (the default) produced distinct keys")
 	}
 
+	// The default backend and its explicit spelling collapse onto one key.
+	r = base
+	r.Backend = api.BackendInterp
+	if k, _ := r.key(); k != k0 {
+		t.Error(`Backend "" and Backend "interp" (the default) produced distinct keys`)
+	}
+
 	// Genuinely different compile-time fields key differently.
 	distinct := []Request{
 		testReq(srcAdd, api.LevelFull, ""),
 		testReq(srcLoop, api.LevelMedium, ""),
 		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Sim: &api.SimConfig{EdgeCap: 8}}},
 		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Passes: &api.Passes{ConstFold: true, CSE: true, DCE: true}}},
+		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Backend: api.BackendCompiled}},
 	}
 	seen := map[cacheKey]int{k0: -1}
 	for i, r := range distinct {
@@ -97,6 +105,11 @@ func TestKeyNormalization(t *testing.T) {
 	r.Sim = &api.SimConfig{Mem: &api.MemConfig{Kind: "quantum"}}
 	if _, err := r.key(); err == nil {
 		t.Error("unknown memory kind keyed without error")
+	}
+	r = base
+	r.Backend = "jit"
+	if _, err := r.key(); err == nil {
+		t.Error("unknown backend keyed without error")
 	}
 }
 

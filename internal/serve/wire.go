@@ -46,6 +46,19 @@ func passesOf(p *api.Passes) *opt.Options {
 	}
 }
 
+// backendOf validates and converts a wire backend name; the empty string
+// selects the interpreter, matching the facade's default.
+func backendOf(b string) (core.Backend, error) {
+	switch b {
+	case "", api.BackendInterp:
+		return core.BackendInterpreted, nil
+	case api.BackendCompiled:
+		return core.BackendCompiled, nil
+	default:
+		return 0, fmt.Errorf("invalid backend %q (want %q or %q)", b, api.BackendInterp, api.BackendCompiled)
+	}
+}
+
 // memOf converts a wire memory configuration.
 func memOf(m *api.MemConfig) (memsys.Config, error) {
 	if m == nil {
@@ -104,6 +117,13 @@ func coreOptions(p api.Program) ([]core.Option, error) {
 		return nil, err
 	}
 	opts := []core.Option{core.WithLevel(level)}
+	backend, err := backendOf(p.Backend)
+	if err != nil {
+		return nil, err
+	}
+	if backend != core.BackendInterpreted {
+		opts = append(opts, core.WithBackend(backend))
+	}
 	if ps := passesOf(p.Passes); ps != nil {
 		opts = append(opts, core.WithPasses(*ps))
 	}
