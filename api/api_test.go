@@ -87,6 +87,7 @@ func TestStatusMapping(t *testing.T) {
 		{ClassOverload, 429},
 		{ClassInternal, 500},
 		{ClassClosed, 503},
+		{ClassUnavailable, 503},
 		{ClassDeadline, 504},
 		{Class("future_class"), 500},
 	}
@@ -115,6 +116,9 @@ func TestErrorInterface(t *testing.T) {
 	}
 	if (&Error{Class: ClassCompile}).Temporary() {
 		t.Error("compile errors are not Temporary")
+	}
+	if !(&Error{Class: ClassUnavailable}).Temporary() {
+		t.Error("unavailable must be Temporary: another peer may serve the key")
 	}
 }
 
@@ -189,6 +193,45 @@ func TestRingOwnership(t *testing.T) {
 	}
 	if moved != 0 {
 		t.Errorf("%d keys moved between surviving nodes after removal; consistent hashing must not reshuffle", moved)
+	}
+}
+
+func TestRingOwners(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := NewRing(peers, 0)
+	r2 := NewRing([]string{peers[3], peers[1], peers[0], peers[2]}, 0)
+	for i := 0; i < 500; i++ {
+		k := Program{Source: fmt.Sprintf("int f(void){return %d;}", i)}.Key()
+		seq := r.Owners(k, len(peers))
+		if len(seq) != len(peers) {
+			t.Fatalf("Owners returned %d peers, want %d", len(seq), len(peers))
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("Owners[0] = %s, Owner = %s; the primary must lead the sequence", seq[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, p := range seq {
+			if seen[p] {
+				t.Fatalf("Owners repeated peer %s: %v", p, seq)
+			}
+			seen[p] = true
+		}
+		// Permutation-stable: the failover sequence is part of the
+		// routing contract, not just the primary.
+		if got := r2.Owners(k, len(peers)); !reflect.DeepEqual(got, seq) {
+			t.Fatalf("permuted ring disagrees on failover order: %v vs %v", got, seq)
+		}
+		// A truncated request returns a prefix of the full sequence.
+		if got := r.Owners(k, 2); !reflect.DeepEqual(got, seq[:2]) {
+			t.Fatalf("Owners(k, 2) = %v, want prefix %v", got, seq[:2])
+		}
+	}
+	if got := r.Owners(Key{}, 99); len(got) != len(peers) {
+		t.Errorf("Owners clamps to the node count; got %d", len(got))
+	}
+	var nilRing *Ring
+	if nilRing.Owners(Key{}, 3) != nil {
+		t.Error("nil ring must return no owners")
 	}
 }
 

@@ -31,7 +31,17 @@ const (
 	ClassNotFound Class = "not_found"
 	// ClassClosed: the service is shutting down.
 	ClassClosed Class = "closed"
+	// ClassUnavailable: the peer could not be reached or returned an
+	// unusable response (connection refused/reset, malformed body).
+	// Synthesized client-side; a different peer may succeed.
+	ClassUnavailable Class = "unavailable"
 )
+
+// HeaderFailover marks a request deliberately sent to a non-owning peer
+// (breaker failover or a hedged read). A daemon seeing it serves the
+// request instead of 307-redirecting to the owner — which may be the
+// very peer the client is routing around.
+const HeaderFailover = "X-Cashd-Failover"
 
 // HTTPStatus maps a class to its HTTP status code. Unknown classes map
 // to 500 so a future class degrades safely.
@@ -45,7 +55,7 @@ func (c Class) HTTPStatus() int {
 		return 422
 	case ClassOverload:
 		return 429
-	case ClassClosed:
+	case ClassClosed, ClassUnavailable:
 		return 503
 	case ClassDeadline:
 		return 504
@@ -97,5 +107,5 @@ func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Class, e.Message
 
 // Temporary reports whether retrying the identical request may succeed.
 func (e *Error) Temporary() bool {
-	return e.Class == ClassOverload || e.Class == ClassClosed
+	return e.Class == ClassOverload || e.Class == ClassClosed || e.Class == ClassUnavailable
 }

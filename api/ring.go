@@ -77,6 +77,34 @@ func (r *Ring) Owner(k Key) string {
 	return r.points[i].node
 }
 
+// Owners returns up to n distinct peers in clockwise preference order
+// from k's position: the first element is Owner(k), the rest are the
+// failover sequence a client should walk when earlier peers are down.
+// Every client derives the same sequence from the same peer list, so
+// failover traffic for one dead peer concentrates on one survivor
+// per key instead of scattering. A nil ring returns nil.
+func (r *Ring) Owners(k Key, n int) []string {
+	if r == nil || len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := binary.BigEndian.Uint64(k[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for scanned := 0; scanned < len(r.points) && len(out) < n; scanned++ {
+		p := r.points[(i+scanned)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}
+
 // Nodes returns the distinct peers on the ring in sorted order.
 func (r *Ring) Nodes() []string {
 	if r == nil {

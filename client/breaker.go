@@ -1,0 +1,217 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-peer circuit breaker. The zero value of
+// every field selects the documented default.
+type BreakerConfig struct {
+	// Window is the sliding window of recorded outcomes per peer; 0
+	// means 16.
+	Window int
+	// MinSamples is the minimum number of recorded outcomes before the
+	// failure rate can trip the breaker; 0 means 4.
+	MinSamples int
+	// FailureRate is the windowed failure fraction at which the breaker
+	// opens; 0 means 0.5.
+	FailureRate float64
+	// Cooldown is how long an open breaker waits before admitting a
+	// half-open probe; 0 means 1s.
+	Cooldown time.Duration
+	// Disabled turns the breaker off: every peer is always routable.
+	Disabled bool
+}
+
+func (c BreakerConfig) window() int {
+	if c.Window <= 0 {
+		return 16
+	}
+	return c.Window
+}
+
+func (c BreakerConfig) minSamples() int {
+	if c.MinSamples <= 0 {
+		return 4
+	}
+	return c.MinSamples
+}
+
+func (c BreakerConfig) failureRate() float64 {
+	if c.FailureRate <= 0 {
+		return 0.5
+	}
+	return c.FailureRate
+}
+
+func (c BreakerConfig) cooldown() time.Duration {
+	if c.Cooldown <= 0 {
+		return time.Second
+	}
+	return c.Cooldown
+}
+
+// outcome classifies one attempt for the breaker: did the PEER misbehave
+// (fault), behave (ok), or did the attempt say nothing about peer health
+// (neutral — an overload shed, a caller-side deadline)?
+type outcome int8
+
+const (
+	outcomeOK outcome = iota
+	outcomeNeutral
+	outcomeFault
+)
+
+// breakerState is the classic three-state circuit: closed admits all
+// traffic, open admits none until a cooldown, half-open admits a single
+// probe whose outcome closes or re-opens the circuit.
+type breakerState int8
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case bkOpen:
+		return "open"
+	case bkHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-peer circuit breaker with a sliding outcome window.
+// The clock is injectable so tests drive state transitions without
+// sleeping.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	openedAt time.Time
+	probing  bool   // a half-open probe is in flight
+	window   []bool // ring buffer of outcomes, true = ok
+	n, idx   int
+	fails    int
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg, now: now, window: make([]bool, cfg.window())}
+}
+
+// allow reports whether a request may be routed to this peer right now.
+// Every true return must be paired with exactly one record call: in the
+// half-open state, allow hands out the single probe slot.
+func (b *breaker) allow() bool {
+	if b == nil || b.cfg.Disabled {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkClosed:
+		return true
+	case bkOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.cooldown() {
+			b.state = bkHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record feeds one attempt's outcome back. A half-open probe's success
+// closes the circuit (and clears history); its failure re-opens it. In
+// the closed state, outcomes land in the sliding window and the breaker
+// opens when the failure rate crosses the threshold.
+func (b *breaker) record(oc outcome) {
+	if b == nil || b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == bkHalfOpen {
+		b.probing = false
+		switch oc {
+		case outcomeOK:
+			b.resetLocked()
+		case outcomeFault:
+			b.state = bkOpen
+			b.openedAt = b.now()
+		}
+		return
+	}
+	if oc == outcomeNeutral {
+		return
+	}
+	b.pushLocked(oc == outcomeOK)
+	if b.state == bkClosed && b.n >= b.cfg.minSamples() &&
+		float64(b.fails)/float64(b.n) >= b.cfg.failureRate() {
+		b.state = bkOpen
+		b.openedAt = b.now()
+	}
+}
+
+// observeHealth feeds a /healthz check in as a strong signal: success
+// force-closes the circuit (fast recovery after a resurrected peer),
+// failure force-opens it (stop routing before the first lost request).
+func (b *breaker) observeHealth(ok bool) {
+	if b == nil || b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.resetLocked()
+		return
+	}
+	b.state = bkOpen
+	b.openedAt = b.now()
+	b.probing = false
+}
+
+func (b *breaker) stateName() string {
+	if b == nil || b.cfg.Disabled {
+		return bkClosed.String()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}
+
+func (b *breaker) resetLocked() {
+	b.state = bkClosed
+	b.probing = false
+	b.n, b.idx, b.fails = 0, 0, 0
+}
+
+func (b *breaker) pushLocked(ok bool) {
+	if b.n == len(b.window) {
+		if !b.window[b.idx] {
+			b.fails--
+		}
+	} else {
+		b.n++
+	}
+	b.window[b.idx] = ok
+	if !ok {
+		b.fails++
+	}
+	b.idx = (b.idx + 1) % len(b.window)
+}

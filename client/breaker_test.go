@@ -1,0 +1,151 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+func testBreaker(cooldown time.Duration) (*breaker, *time.Time) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(BreakerConfig{Window: 8, MinSamples: 4, FailureRate: 0.5, Cooldown: cooldown},
+		func() time.Time { return now })
+	return b, &now
+}
+
+// TestBreakerLifecycle drives the full closed → open → half-open →
+// closed circuit with a fake clock.
+func TestBreakerLifecycle(t *testing.T) {
+	b, now := testBreaker(time.Second)
+	if !b.allow() {
+		t.Fatal("fresh breaker must be closed")
+	}
+	// Failures below MinSamples leave it closed.
+	for i := 0; i < 3; i++ {
+		b.record(outcomeFault)
+	}
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("after 3 faults: %s, want closed (below MinSamples)", got)
+	}
+	// The fourth failure crosses the rate threshold.
+	b.record(outcomeFault)
+	if got := b.stateName(); got != "open" {
+		t.Fatalf("after 4/4 faults: %s, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	*now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	// The probe fails: re-open, fresh cooldown.
+	b.record(outcomeFault)
+	if got := b.stateName(); got != "open" {
+		t.Fatalf("failed probe left state %s, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request")
+	}
+	// Next probe succeeds: closed again, history cleared.
+	*now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("second probe refused")
+	}
+	b.record(outcomeOK)
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("successful probe left state %s, want closed", got)
+	}
+	// History was cleared: three fresh faults don't re-trip.
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatal("closed breaker refused traffic")
+		}
+		b.record(outcomeFault)
+	}
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("window not cleared on close: %s", got)
+	}
+}
+
+// TestBreakerNeutralOutcomes: sheds and caller deadlines say nothing
+// about peer health and never trip the circuit.
+func TestBreakerNeutralOutcomes(t *testing.T) {
+	b, _ := testBreaker(time.Second)
+	for i := 0; i < 50; i++ {
+		b.record(outcomeNeutral)
+	}
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("neutral outcomes tripped the breaker: %s", got)
+	}
+	// A neutral half-open probe releases the slot without closing.
+	for i := 0; i < 4; i++ {
+		b.record(outcomeFault)
+	}
+	bNow := b.now().Add(2 * time.Second)
+	b.now = func() time.Time { return bNow }
+	if !b.allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.record(outcomeNeutral)
+	if got := b.stateName(); got != "half-open" {
+		t.Fatalf("neutral probe moved state to %s, want half-open", got)
+	}
+	if !b.allow() {
+		t.Fatal("probe slot not released after neutral outcome")
+	}
+}
+
+// TestBreakerMixedWindow: the breaker trips on rate, not streaks.
+func TestBreakerMixedWindow(t *testing.T) {
+	b, _ := testBreaker(time.Second)
+	// Alternate ok/fault: 50% failure rate >= threshold once MinSamples
+	// is reached.
+	b.record(outcomeOK)
+	b.record(outcomeFault)
+	b.record(outcomeOK)
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("1/3 failures tripped: %s", got)
+	}
+	b.record(outcomeFault)
+	if got := b.stateName(); got != "open" {
+		t.Fatalf("2/4 failures at threshold 0.5 left state %s, want open", got)
+	}
+}
+
+// TestBreakerHealthSignals: /healthz outcomes are strong — they
+// force-close or force-open regardless of the window.
+func TestBreakerHealthSignals(t *testing.T) {
+	b, _ := testBreaker(time.Hour)
+	b.observeHealth(false)
+	if got := b.stateName(); got != "open" {
+		t.Fatalf("failed health check left state %s, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted traffic inside a long cooldown")
+	}
+	b.observeHealth(true)
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("healthy check left state %s, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("recovered breaker refused traffic")
+	}
+}
+
+// TestBreakerDisabled: a disabled breaker is transparent.
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(BreakerConfig{Disabled: true}, nil)
+	for i := 0; i < 20; i++ {
+		b.record(outcomeFault)
+		if !b.allow() {
+			t.Fatal("disabled breaker refused traffic")
+		}
+	}
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("disabled breaker reports %s", got)
+	}
+}

@@ -5,6 +5,8 @@
 //
 //   - Retries with exponential backoff when the daemon sheds load
 //     (HTTP 429), honoring the server's Retry-After hint when present.
+//     Backoff is capped at MaxBackoff and jittered ±20% so synchronized
+//     clients de-correlate.
 //   - Context deadlines: the request context bounds every attempt
 //     including backoff sleeps, and a context error is reported as an
 //     api.Error with ClassDeadline.
@@ -14,9 +16,20 @@
 //     order. A daemon's 307 redirects are followed as a fallback, so an
 //     out-of-date peer list still reaches the right shard — routing is a
 //     fast path, not a correctness requirement.
+//   - Peer failover: each peer has a circuit breaker (closed/open/
+//     half-open over a sliding failure-rate window). When a peer is
+//     unreachable, resets the connection, or answers 5xx, the request
+//     walks the ring to the next live owner — carrying api.HeaderFailover
+//     so the substitute serves instead of redirecting back to the dead
+//     primary. One dead daemon costs 1/N capacity, not a hung key range.
+//   - Hedged reads: with Config.Hedge set, a Run that has not answered
+//     after a p99-based delay is raced against the next live peer; the
+//     first answer wins and the loser is canceled.
 //
 // Typed failures surface as *api.Error; inspect .Class or call
-// .Temporary() to decide whether to retry at a higher level.
+// .Temporary() to decide whether to retry at a higher level. Transport
+// failures (connection refused/reset, malformed bodies) are typed as
+// ClassUnavailable rather than leaking raw transport errors.
 package client
 
 import (
@@ -27,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -43,12 +57,25 @@ type Config struct {
 	// HTTPClient overrides the transport; nil means a dedicated client
 	// with no overall timeout (use request contexts for deadlines).
 	HTTPClient *http.Client
-	// MaxRetries bounds retry attempts after an overload shed; 0 means 4.
-	// Only temporary errors (429 overload, 503 closed) are retried.
+	// MaxRetries bounds retry attempts after a retriable failure; 0
+	// means 4. Overload sheds back off on the same peer; peer faults
+	// (unreachable, 5xx) fail over to the next live owner immediately.
 	MaxRetries int
 	// BaseBackoff is the first retry's backoff; it doubles per attempt.
 	// 0 means 50ms. A server Retry-After hint overrides the schedule.
 	BaseBackoff time.Duration
+	// MaxBackoff caps every backoff sleep, including a server
+	// Retry-After hint; 0 means 1s. Each sleep is jittered ±20%
+	// deterministically by attempt index.
+	MaxBackoff time.Duration
+	// Breaker tunes the per-peer circuit breakers.
+	Breaker BreakerConfig
+	// Hedge enables hedged Run reads: if the primary has not answered
+	// after HedgeDelay, a duplicate is raced to the next live peer.
+	Hedge bool
+	// HedgeDelay is the hedging trigger; 0 means adaptive (the observed
+	// p99 of recent successful requests, 50ms until enough samples).
+	HedgeDelay time.Duration
 }
 
 // Client is a cashd client; it is safe for concurrent use.
@@ -56,6 +83,15 @@ type Client struct {
 	cfg  Config
 	ring *api.Ring
 	http *http.Client
+	now  func() time.Time
+
+	bmu      sync.Mutex
+	breakers map[string]*breaker
+
+	latMu  sync.Mutex
+	lats   []time.Duration // ring buffer of recent successful latencies
+	latIdx int
+	latN   int
 }
 
 // New builds a client for the given daemon set.
@@ -70,30 +106,74 @@ func New(cfg Config) (*Client, error) {
 	if cfg.BaseBackoff == 0 {
 		cfg.BaseBackoff = 50 * time.Millisecond
 	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = time.Second
+	}
 	hc := cfg.HTTPClient
 	if hc == nil {
 		hc = &http.Client{}
 	}
-	return &Client{cfg: cfg, ring: ring, http: hc}, nil
+	c := &Client{
+		cfg:      cfg,
+		ring:     ring,
+		http:     hc,
+		now:      time.Now,
+		breakers: make(map[string]*breaker),
+		lats:     make([]time.Duration, 128),
+	}
+	for _, p := range ring.Nodes() {
+		c.breakers[p] = newBreaker(cfg.Breaker, c.now)
+	}
+	return c, nil
 }
 
 // owner returns the peer that owns p's slice of the key space.
 func (c *Client) owner(p api.Program) string { return c.ring.Owner(p.Key()) }
 
+// candidates returns p's full failover sequence: the owning peer first,
+// then the ring walk every client agrees on.
+func (c *Client) candidates(p api.Program) []string {
+	return c.ring.Owners(p.Key(), len(c.ring.Nodes()))
+}
+
+// candidatesFor builds a failover sequence led by an explicit primary
+// (used by Batch, whose sub-batches are grouped by owner).
+func (c *Client) candidatesFor(primary string) []string {
+	out := []string{primary}
+	for _, p := range c.ring.Nodes() {
+		if p != primary {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (c *Client) breakerFor(peer string) *breaker {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	b, ok := c.breakers[peer]
+	if !ok {
+		b = newBreaker(c.cfg.Breaker, c.now)
+		c.breakers[peer] = b
+	}
+	return b
+}
+
 // Compile compiles (and caches) a program on its owning shard without
 // running it.
 func (c *Client) Compile(ctx context.Context, p api.CompileRequest) (*api.CompileResponse, error) {
 	var out api.CompileResponse
-	if err := c.post(ctx, c.owner(p), "/"+api.Version+"/compile", p, &out); err != nil {
+	if err := c.post(ctx, c.candidates(p), "/"+api.Version+"/compile", p, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Run executes one simulation on the program's owning shard.
+// Run executes one simulation on the program's owning shard, hedging to
+// the next live peer when configured.
 func (c *Client) Run(ctx context.Context, r api.RunRequest) (*api.RunResponse, error) {
 	var out api.RunResponse
-	if err := c.post(ctx, c.owner(r.Program), "/"+api.Version+"/run", r, &out); err != nil {
+	if err := c.hedgedPost(ctx, c.candidates(r.Program), "/"+api.Version+"/run", r, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -124,7 +204,7 @@ func (c *Client) Batch(ctx context.Context, b api.BatchRequest) (*api.BatchRespo
 				sub.Runs[j] = b.Runs[i]
 			}
 			var out api.BatchResponse
-			err := c.post(ctx, peer, "/"+api.Version+"/batch", sub, &out)
+			err := c.post(ctx, c.candidatesFor(peer), "/"+api.Version+"/batch", sub, &out)
 			if err == nil && len(out.Results) != len(idxs) {
 				err = &api.Error{Class: api.ClassInternal,
 					Message: fmt.Sprintf("client: peer %s returned %d results for %d runs", peer, len(out.Results), len(idxs))}
@@ -171,36 +251,111 @@ func (c *Client) Trace(ctx context.Context, id string, w io.Writer) error {
 	return lastErr
 }
 
-// Health checks every peer's liveness endpoint and reports the peers
-// that failed, if any.
-func (c *Client) Health(ctx context.Context) error {
+// PeerHealth is one peer's health-check result.
+type PeerHealth struct {
+	Peer    string        `json:"peer"`
+	OK      bool          `json:"ok"`
+	Latency time.Duration `json:"latency"`
+	// Err describes the failure when OK is false.
+	Err string `json:"error,omitempty"`
+	// Breaker is the peer's circuit state after the check:
+	// "closed", "open", or "half-open".
+	Breaker string `json:"breaker"`
+}
+
+// HealthReport is the typed result of Health: one entry per peer, in
+// ring (sorted) order.
+type HealthReport struct {
+	Peers []PeerHealth `json:"peers"`
+}
+
+// Down returns the unhealthy peers.
+func (r *HealthReport) Down() []PeerHealth {
+	var out []PeerHealth
+	for _, p := range r.Peers {
+		if !p.OK {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Health checks every peer's liveness endpoint. It returns the full
+// per-peer report, plus a non-nil error naming the down peers when any
+// check failed (so existing callers that only look at the error keep
+// working). Outcomes feed the circuit breakers: a healthy check closes
+// a peer's breaker, a failed one opens it.
+func (c *Client) Health(ctx context.Context) (*HealthReport, error) {
+	rep := &HealthReport{}
 	var down []string
 	for _, peer := range c.ring.Nodes() {
+		ph := PeerHealth{Peer: peer}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		start := c.now()
 		resp, err := c.http.Do(req)
+		ph.Latency = c.now().Sub(start)
 		if err != nil {
-			down = append(down, fmt.Sprintf("%s: %v", peer, err))
-			continue
+			ph.Err = err.Error()
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				ph.Err = fmt.Sprintf("status %d", resp.StatusCode)
+			} else {
+				ph.OK = true
+			}
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			down = append(down, fmt.Sprintf("%s: status %d", peer, resp.StatusCode))
+		b := c.breakerFor(peer)
+		b.observeHealth(ph.OK)
+		ph.Breaker = b.stateName()
+		rep.Peers = append(rep.Peers, ph)
+		if !ph.OK {
+			down = append(down, fmt.Sprintf("%s: %s", peer, ph.Err))
 		}
 	}
 	if len(down) > 0 {
-		return fmt.Errorf("client: unhealthy peers: %s", strings.Join(down, "; "))
+		return rep, fmt.Errorf("client: unhealthy peers: %s", strings.Join(down, "; "))
 	}
-	return nil
+	return rep, nil
 }
 
-// post sends one JSON request with the retry/backoff loop. Temporary
-// failures (overload, closed) are retried up to MaxRetries times with
-// exponential backoff, honoring a server Retry-After hint; all sleeps
-// respect ctx.
-func (c *Client) post(ctx context.Context, peer, path string, body, out any) error {
+// pickPeer walks the preference sequence and returns the first peer
+// whose breaker admits a request and that has not already faulted during
+// this call. When everything is excluded it falls back to the primary:
+// while peers exist the client always probes rather than refusing.
+func (c *Client) pickPeer(cands []string, skip map[string]bool) string {
+	for _, p := range cands {
+		if skip[p] {
+			continue
+		}
+		if c.breakerFor(p).allow() {
+			return p
+		}
+	}
+	return cands[0]
+}
+
+// post sends one JSON request with the retry/failover loop. Overload
+// sheds back off (capped, jittered, honoring Retry-After) and retry;
+// peer faults (unreachable, reset, 5xx, malformed body) mark the peer in
+// its breaker and fail over to the next candidate without sleeping.
+// Permanent errors (compile, sim, bad request) return immediately. All
+// sleeps respect ctx.
+func (c *Client) post(ctx context.Context, cands []string, path string, body, out any) error {
+	if len(cands) == 0 {
+		return &api.Error{Class: api.ClassUnavailable, Message: "client: no peers for key",
+			Status: api.ClassUnavailable.HTTPStatus()}
+	}
+	return c.postAs(ctx, cands, cands[0], path, body, out)
+}
+
+// postAs is post with the true primary named explicitly: any attempt to
+// a different peer carries the failover header, even when (as in a
+// hedge) the candidate sequence has been rotated so the substitute
+// leads.
+func (c *Client) postAs(ctx context.Context, cands []string, primary, path string, body, out any) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -208,45 +363,229 @@ func (c *Client) post(ctx context.Context, peer, path string, body, out any) err
 	if err != nil {
 		return err
 	}
-	backoff := c.cfg.BaseBackoff
+	var skip map[string]bool
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(data))
-		if err != nil {
-			return err
+		peer := c.pickPeer(cands, skip)
+		start := c.now()
+		oc, err := c.do(ctx, peer, path, data, out, peer != primary)
+		c.breakerFor(peer).record(oc)
+		if err == nil {
+			c.observeLatency(c.now().Sub(start))
+			return nil
 		}
-		req.Header.Set("Content-Type", "application/json")
-		// GetBody lets the transport replay the body across the daemon's
-		// 307 shard redirects.
-		req.GetBody = func() (io.ReadCloser, error) {
-			return io.NopCloser(bytes.NewReader(data)), nil
-		}
-		resp, err := c.http.Do(req)
-		if err != nil {
+		if ctx.Err() != nil {
 			return ctxError(ctx, err)
 		}
-		if resp.StatusCode == http.StatusOK {
-			err := json.NewDecoder(resp.Body).Decode(out)
-			resp.Body.Close()
+		var ae *api.Error
+		if !errors.As(err, &ae) {
 			return err
 		}
-		apiErr := decodeError(resp)
-		resp.Body.Close()
-		if !apiErr.Temporary() || attempt >= c.cfg.MaxRetries {
-			return apiErr
+		if attempt >= c.cfg.MaxRetries {
+			return err
 		}
-		wait := backoff
-		if apiErr.RetryAfterMS > 0 {
-			wait = time.Duration(apiErr.RetryAfterMS) * time.Millisecond
-		}
-		backoff *= 2
-		t := time.NewTimer(wait)
-		select {
-		case <-ctx.Done():
-			t.Stop()
-			return ctxError(ctx, ctx.Err())
-		case <-t.C:
+		switch {
+		case oc == outcomeFault:
+			// The peer misbehaved; walk to the next candidate at once.
+			if skip == nil {
+				skip = make(map[string]bool, len(cands))
+			}
+			skip[peer] = true
+			if len(skip) >= len(cands) {
+				// Every peer faulted once: clear and sweep again.
+				skip = nil
+			}
+		case ae.Temporary():
+			// Overload shed: the peer is alive but busy; back off.
+			wait := backoffFor(attempt, c.cfg.BaseBackoff, c.cfg.MaxBackoff)
+			if ae.RetryAfterMS > 0 {
+				wait = time.Duration(ae.RetryAfterMS) * time.Millisecond
+				if wait > c.cfg.MaxBackoff {
+					wait = c.cfg.MaxBackoff
+				}
+			}
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctxError(ctx, ctx.Err())
+			case <-t.C:
+			}
+		default:
+			// Permanent for this request (compile, sim, bad_request,
+			// not_found, server-side deadline).
+			return err
 		}
 	}
+}
+
+// hedgedPost is post plus read hedging: when enabled and a fallback peer
+// exists, a duplicate request races to the next live candidate after the
+// hedge delay; the first success wins and the loser's context is
+// canceled. Safe only for idempotent reads — Run and Compile are
+// content-addressed and deterministic, so duplicates are free except for
+// the wasted work.
+func (c *Client) hedgedPost(ctx context.Context, cands []string, path string, body, out any) error {
+	if !c.cfg.Hedge || len(cands) < 2 {
+		return c.post(ctx, cands, path, body, out)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type res struct {
+		raw json.RawMessage
+		err error
+	}
+	ch := make(chan res, 2)
+	launch := func(seq []string) {
+		var raw json.RawMessage
+		err := c.postAs(hctx, seq, cands[0], path, body, &raw)
+		ch <- res{raw, err}
+	}
+	go launch(cands)
+	launched := 1
+	timer := time.NewTimer(c.hedgeDelay())
+	defer timer.Stop()
+	var firstErr error
+	for done := 0; done < launched; {
+		select {
+		case <-timer.C:
+			if launched == 1 {
+				// The hedge leads with the next owner; the primary —
+				// already being tried — goes last.
+				alt := append(append(make([]string, 0, len(cands)), cands[1:]...), cands[0])
+				go launch(alt)
+				launched = 2
+			}
+		case r := <-ch:
+			done++
+			if r.err == nil {
+				cancel() // release the loser immediately
+				return json.Unmarshal(r.raw, out)
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		}
+	}
+	return firstErr
+}
+
+// hedgeDelay is the configured hedge trigger, or the observed p99 of
+// recent successful requests when adaptive.
+func (c *Client) hedgeDelay() time.Duration {
+	if c.cfg.HedgeDelay > 0 {
+		return c.cfg.HedgeDelay
+	}
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	const fallback = 50 * time.Millisecond
+	if c.latN < 8 {
+		return fallback
+	}
+	cp := make([]time.Duration, c.latN)
+	copy(cp, c.lats[:c.latN])
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	p99 := cp[len(cp)*99/100]
+	if p99 < 2*time.Millisecond {
+		p99 = 2 * time.Millisecond
+	}
+	return p99
+}
+
+func (c *Client) observeLatency(d time.Duration) {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	c.lats[c.latIdx] = d
+	c.latIdx = (c.latIdx + 1) % len(c.lats)
+	if c.latN < len(c.lats) {
+		c.latN++
+	}
+}
+
+// maxResponseBytes bounds how much of a response body one attempt will
+// buffer; traces stream through Trace, so service responses stay small.
+const maxResponseBytes = 16 << 20
+
+// do performs one HTTP attempt against peer, classifying the result for
+// the peer's circuit breaker. failover marks the request as deliberately
+// off-owner so the daemon serves it instead of redirecting.
+func (c *Client) do(ctx context.Context, peer, path string, data []byte, out any, failover bool) (outcome, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(data))
+	if err != nil {
+		return outcomeNeutral, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if failover {
+		req.Header.Set(api.HeaderFailover, "1")
+	}
+	// GetBody lets the transport replay the body across the daemon's
+	// 307 shard redirects.
+	req.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(data)), nil
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return outcomeNeutral, ctxError(ctx, err)
+		}
+		return outcomeFault, &api.Error{Class: api.ClassUnavailable,
+			Message: fmt.Sprintf("client: %s unreachable: %v", peer, err),
+			Status:  api.ClassUnavailable.HTTPStatus()}
+	}
+	if resp.StatusCode == http.StatusOK {
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		resp.Body.Close()
+		if err == nil {
+			err = json.Unmarshal(body, out)
+		}
+		if err != nil {
+			// A 200 with an unusable body is a peer fault (truncated or
+			// corrupted response), never a wrong answer to the caller.
+			return outcomeFault, &api.Error{Class: api.ClassUnavailable,
+				Message: fmt.Sprintf("client: %s returned a malformed response: %v", peer, err),
+				Status:  api.ClassUnavailable.HTTPStatus()}
+		}
+		return outcomeOK, nil
+	}
+	apiErr := decodeError(resp)
+	resp.Body.Close()
+	switch apiErr.Class {
+	case api.ClassInternal, api.ClassClosed, api.ClassUnavailable:
+		// The peer (or a proxy in front of it) is unhealthy for this
+		// request; a different peer may do better.
+		return outcomeFault, apiErr
+	case api.ClassOverload, api.ClassDeadline:
+		// Alive but busy, or the caller's own budget: not peer health.
+		return outcomeNeutral, apiErr
+	default:
+		// 4xx: the request's fault; the peer answered correctly.
+		return outcomeOK, apiErr
+	}
+}
+
+// backoffFor returns the sleep before retry `attempt` (0-based): the
+// exponential schedule base·2^attempt capped at max, with ±20%
+// deterministic jitter (a multiplicative hash of the attempt index) so
+// synchronized retry storms spread out without shared RNG state.
+func backoffFor(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := uint64(attempt+1) * 0x9E3779B97F4A7C15
+	frac := float64(h>>40) / float64(1<<24) // [0, 1)
+	return time.Duration(float64(d) * (0.8 + 0.4*frac))
 }
 
 // decodeError turns a non-200 response into a *api.Error, synthesizing

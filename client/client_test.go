@@ -334,16 +334,43 @@ func TestHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Health(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	// A dead peer is named in the failure.
-	c2, err := New(Config{Peers: []string{urlA, "http://127.0.0.1:1"}})
+	rep, err := c.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Health(context.Background()); err == nil {
+	if len(rep.Peers) != 2 {
+		t.Fatalf("report covers %d peers, want 2", len(rep.Peers))
+	}
+	for _, ph := range rep.Peers {
+		if !ph.OK || ph.Err != "" {
+			t.Errorf("peer %s reported unhealthy: %+v", ph.Peer, ph)
+		}
+		if ph.Breaker != "closed" {
+			t.Errorf("peer %s breaker %q, want closed", ph.Peer, ph.Breaker)
+		}
+	}
+	if len(rep.Down()) != 0 {
+		t.Errorf("Down() = %v, want empty", rep.Down())
+	}
+	// A dead peer is named in the failure and opens its breaker.
+	dead := "http://127.0.0.1:1"
+	c2, err := New(Config{Peers: []string{urlA, dead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := c2.Health(context.Background())
+	if err == nil {
 		t.Error("Health passed with a dead peer")
+	}
+	if rep2 == nil {
+		t.Fatal("Health must still return the report alongside the error")
+	}
+	down := rep2.Down()
+	if len(down) != 1 || down[0].Peer != dead || down[0].Err == "" {
+		t.Errorf("Down() = %+v, want the dead peer with its error", down)
+	}
+	if down[0].Breaker != "open" {
+		t.Errorf("dead peer breaker %q, want open", down[0].Breaker)
 	}
 }
 

@@ -11,6 +11,7 @@
 //	experiments -exp serve [-bench name[,name...]] [-benchtime 200ms]
 //	experiments -exp load [-url http://host:port] [-rates 25,50,100,200,400]
 //	            [-loaddur 2s] [-short] [-benchout BENCH.json]
+//	experiments -exp chaos [-seed 1] [-short] [-benchout BENCH.json]
 //
 // -exp load drives a cashd daemon with an open-loop generator and
 // records the offered load vs latency/shed curve (EXPERIMENTS.md
@@ -18,6 +19,15 @@
 // on loopback. -short is the CI smoke variant: one modest rate for ten
 // seconds, failing on any non-2xx response or any shed request.
 // -benchout merges the curve into the existing BENCH.json report.
+//
+// -exp chaos drives an in-process multi-peer cashd cluster through the
+// deterministic fault schedules of internal/netchaos (peer kill,
+// connection resets, corrupted and truncated responses, flaky 5xx,
+// delays, a black hole) and fails unless every request either succeeds
+// bit-identically to the fault-free reference or fails with a typed
+// error — no hangs, no silent wrong answers. -short is the CI smoke
+// variant (fewer requests, the three sharpest schedules). -benchout
+// merges the availability/latency-under-faults rows into BENCH.json.
 //
 // -exp serve measures the batch simulation service: the worker scaling
 // curve (runs/sec and per-stream ns/event at 1/2/4/8 workers, with
@@ -50,7 +60,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig18, fig19, ablation, spatial, irsize, area, section2, bench, serve, load, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig18, fig19, ablation, spatial, irsize, area, section2, bench, serve, load, chaos, all")
 	bench := flag.String("bench", "", "restrict to a comma-separated benchmark list")
 	quick := flag.Bool("quick", false, "use a reduced sweep for fig19")
 	benchTime := flag.Duration("benchtime", 200*time.Millisecond, "minimum timed duration per (workload, level) for -exp bench")
@@ -60,7 +70,8 @@ func main() {
 	loadURL := flag.String("url", "", "-exp load: target daemon base URL (empty starts one in-process)")
 	loadRates := flag.String("rates", "", "-exp load: comma-separated offered rates in req/s")
 	loadDur := flag.Duration("loaddur", 2*time.Second, "-exp load: duration per offered rate")
-	short := flag.Bool("short", false, "-exp load: CI smoke (one modest rate, 10s, fail on any error or shed)")
+	short := flag.Bool("short", false, "-exp load/chaos: CI smoke variant")
+	seed := flag.Int64("seed", 1, "-exp chaos: jitter seed")
 	flag.Parse()
 
 	ws := workloads.All()
@@ -99,6 +110,12 @@ func main() {
 	}
 	if *exp == "load" {
 		if err := runLoad(*loadURL, *loadRates, *loadDur, *short, *benchOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "chaos" {
+		if err := runChaos(*seed, *short, *benchOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -434,6 +451,52 @@ func runLoad(url, ratesCSV string, dur time.Duration, short bool, out string) er
 		}
 		fmt.Println("smoke gate passed: all responses 2xx, nothing shed")
 	}
+	return nil
+}
+
+// runChaos runs the deterministic chaos battery against an in-process
+// cluster and enforces the resilience gate: every request under faults
+// either succeeds bit-identically or fails typed; hangs, wrong answers,
+// and unclassified errors each fail the run. -short trims the battery to
+// the three sharpest schedules for CI.
+func runChaos(seed int64, short bool, out string) error {
+	opts := harness.ChaosOptions{Seed: seed}
+	if short {
+		opts.Requests = 45
+		opts.Schedules = []string{"peer-kill", "conn-reset", "corrupt"}
+	}
+	rows, err := harness.ChaosBattery(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.FormatChaos(opts, rows))
+
+	if out != "" {
+		rep := &harness.BenchReport{}
+		if data, err := os.ReadFile(out); err == nil {
+			if err := json.Unmarshal(data, rep); err != nil {
+				return fmt.Errorf("chaos: existing %s: %w", out, err)
+			}
+		}
+		if rep.GoVersion == "" {
+			rep.GoVersion = runtime.Version()
+			rep.CPUs = runtime.NumCPU()
+		}
+		rep.Chaos = rows
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("merged chaos rows into %s\n", out)
+	}
+
+	if err := harness.ChaosGate(rows); err != nil {
+		return err
+	}
+	fmt.Println("chaos gate passed: no hangs, no wrong answers, no unclassified errors")
 	return nil
 }
 

@@ -65,6 +65,9 @@ type Server struct {
 	mux    *http.ServeMux
 	met    *metrics
 	traces *traceStore
+	// start anchors the observed drain rate behind the adaptive
+	// Retry-After hint.
+	start time.Time
 }
 
 // New builds a server. It fails on an unusable cache directory or an
@@ -98,6 +101,7 @@ func New(cfg Config) (*Server, error) {
 		self:   cfg.Self,
 		met:    newMetrics(),
 		traces: newTraceStore(cfg.MaxTraces),
+		start:  time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /"+api.Version+"/compile", s.instrument("compile", s.handleCompile))
@@ -175,8 +179,61 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-// overloadRetryAfter is the backoff hint handed to shed clients.
-const overloadRetryAfter = 100 * time.Millisecond
+// overloadRetryAfter is the floor of the backoff hint handed to shed
+// clients, and the fallback when no adaptive estimate exists.
+const overloadRetryAfter = 25 * time.Millisecond
+
+// maxRetryAfter caps the adaptive hint: past a couple of seconds the
+// client's own capped backoff policy governs.
+const maxRetryAfter = 2 * time.Second
+
+// adaptiveRetryAfter estimates how long a shed client should wait for a
+// queue slot to open: the current backlog divided by the observed drain
+// rate, clamped to [overloadRetryAfter, maxRetryAfter]. With no drain
+// observations yet, the hint scales with queue fullness alone. The
+// estimate is monotonic: non-decreasing in queueLen, non-increasing in
+// drainPerSec.
+func adaptiveRetryAfter(queueLen, queueCap int, drainPerSec float64) time.Duration {
+	clamp := func(d time.Duration) time.Duration {
+		if d < overloadRetryAfter {
+			return overloadRetryAfter
+		}
+		if d > maxRetryAfter {
+			return maxRetryAfter
+		}
+		return d
+	}
+	if queueLen <= 0 {
+		return overloadRetryAfter
+	}
+	if drainPerSec > 0 {
+		return clamp(time.Duration(float64(queueLen) / drainPerSec * float64(time.Second)))
+	}
+	if queueCap > 0 {
+		return clamp(overloadRetryAfter * time.Duration(1+4*queueLen/queueCap))
+	}
+	return overloadRetryAfter
+}
+
+// retryAfterHint computes the live adaptive hint from engine stats.
+func (s *Server) retryAfterHint() time.Duration {
+	st := s.eng.Stats()
+	drained := st.Completed + st.Failed + st.Canceled
+	var rate float64
+	if elapsed := time.Since(s.start).Seconds(); elapsed > 0 {
+		rate = float64(drained) / elapsed
+	}
+	return adaptiveRetryAfter(st.QueueLen, st.QueueCap, rate)
+}
+
+// writeError writes a typed error body with its class's status,
+// filling in the adaptive Retry-After hint on overload.
+func (s *Server) writeError(w http.ResponseWriter, e *api.Error) {
+	if e.Class == api.ClassOverload && e.RetryAfterMS <= 0 {
+		e.RetryAfterMS = s.retryAfterHint().Milliseconds()
+	}
+	writeError(w, e)
+}
 
 // writeError writes a typed error body with its class's status. 429
 // responses also carry Retry-After (seconds, ceiling) for generic
@@ -239,12 +296,22 @@ func errorFor(err error) *api.Error {
 // request is answered with 307 + Location (method and body are
 // preserved by compliant clients; the Go client re-sends via GetBody).
 // Returns true when the request was redirected.
+//
+// A request carrying api.HeaderFailover is served in place: the client
+// is deliberately routing around the owner (dead peer, hedged read),
+// and a redirect would bounce it back to the very daemon it is
+// avoiding. The engine can compile and run any program; ownership is a
+// cache-locality optimization, not a correctness requirement.
 func (s *Server) redirectIfNotOwner(w http.ResponseWriter, r *http.Request, p api.Program) bool {
 	if s.ring == nil {
 		return false
 	}
 	owner := s.ring.Owner(p.Key())
 	if owner == s.self {
+		return false
+	}
+	if r.Header.Get(api.HeaderFailover) != "" {
+		s.met.countFailover()
 		return false
 	}
 	target := strings.TrimSuffix(owner, "/") + r.URL.Path
@@ -291,7 +358,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	_, hit, err := s.eng.Resolve(r.Context(), serve.Request{Program: req})
 	if err != nil {
-		writeError(w, errorFor(err))
+		s.writeError(w, errorFor(err))
 		return
 	}
 	if !hit {
@@ -320,7 +387,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	resp, err := s.eng.Do(r.Context(), toServeRequest(req))
 	if err != nil {
-		writeError(w, errorFor(err))
+		s.writeError(w, errorFor(err))
 		return
 	}
 	s.met.run.observe(time.Since(start))
@@ -341,7 +408,7 @@ func (s *Server) handleTracedRun(w http.ResponseWriter, r *http.Request, req api
 	start := time.Now()
 	cp, hit, err := s.eng.Resolve(r.Context(), toServeRequest(req))
 	if err != nil {
-		writeError(w, errorFor(err))
+		s.writeError(w, errorFor(err))
 		return
 	}
 	entry := req.Entry
@@ -350,7 +417,7 @@ func (s *Server) handleTracedRun(w http.ResponseWriter, r *http.Request, req api
 	}
 	res, tr, err := cp.RunTraced(entry, req.Args)
 	if err != nil {
-		writeError(w, errorFor(err))
+		s.writeError(w, errorFor(err))
 		return
 	}
 	id := s.traces.add(tr)

@@ -17,6 +17,7 @@ import (
 type metrics struct {
 	mu       sync.Mutex
 	requests map[reqKey]uint64
+	failover uint64
 	compile  *histogram
 	run      *histogram
 }
@@ -37,6 +38,15 @@ func newMetrics() *metrics {
 func (m *metrics) countRequest(endpoint string, status int) {
 	m.mu.Lock()
 	m.requests[reqKey{endpoint, status}]++
+	m.mu.Unlock()
+}
+
+// countFailover records a request served in place because the caller
+// declared it a failover attempt (api.HeaderFailover) — the owner it
+// would normally be redirected to is presumed down.
+func (m *metrics) countFailover() {
+	m.mu.Lock()
+	m.failover++
 	m.mu.Unlock()
 }
 
@@ -131,6 +141,7 @@ func (m *metrics) write(w io.Writer, s serve.Stats, traces int) {
 	for k, v := range m.requests {
 		reqs[k] = v
 	}
+	failover := m.failover
 	m.mu.Unlock()
 	histMu.Lock()
 	compile := m.compile.snapshot()
@@ -162,6 +173,8 @@ func (m *metrics) write(w io.Writer, s serve.Stats, traces int) {
 	counter("cashd_runs_completed_total", "Simulation runs finished successfully.", s.Completed)
 	counter("cashd_runs_failed_total", "Requests that ended in a compile or run error.", s.Failed)
 	counter("cashd_runs_shed_total", "Requests shed with 429 by the admission queue.", s.Rejected)
+	counter("cashd_runs_canceled_total", "Requests abandoned by their caller while queued.", s.Canceled)
+	counter("cashd_failover_served_total", "Requests served in place under the failover header instead of redirected.", failover)
 	counter("cashd_cache_hits_total", "Compile cache lookups served by a ready entry.", s.CacheHits)
 	counter("cashd_cache_shared_total", "Compile cache lookups that joined an in-flight compile.", s.CacheShared)
 	counter("cashd_cache_misses_total", "Compile cache lookups that had to compile.", s.CacheMisses)
@@ -169,6 +182,7 @@ func (m *metrics) write(w io.Writer, s serve.Stats, traces int) {
 	gauge("cashd_cache_hit_rate", "Hits+shared over all lookups (0 when no lookups).", s.HitRate())
 	gauge("cashd_cache_entries", "Compiled programs currently resident.", float64(s.CacheEntries))
 	gauge("cashd_cache_disk_loaded", "Entries warmed from the cache directory at startup.", float64(s.DiskLoaded))
+	gauge("cashd_cache_quarantined", "Unreadable or mis-keyed disk entries moved aside at startup.", float64(s.DiskQuarantined))
 	gauge("cashd_queue_depth", "Requests waiting for a worker right now.", float64(s.QueueLen))
 	gauge("cashd_queue_capacity", "Admission queue bound.", float64(s.QueueCap))
 	shedRate := 0.0

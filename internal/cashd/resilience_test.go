@@ -1,0 +1,131 @@
+package cashd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spatial/api"
+	"spatial/internal/serve"
+)
+
+// TestAdaptiveRetryAfterMonotonic pins the shape of the 429 hint: longer
+// queues never shrink the hint, faster drains never grow it, and the
+// result always stays inside [overloadRetryAfter, maxRetryAfter].
+func TestAdaptiveRetryAfterMonotonic(t *testing.T) {
+	const cap = 64
+
+	// Non-decreasing in queue length at a fixed drain rate.
+	for _, drain := range []float64{0, 0.5, 10, 1000} {
+		prev := time.Duration(-1)
+		for q := 0; q <= cap; q += 4 {
+			d := adaptiveRetryAfter(q, cap, drain)
+			if d < overloadRetryAfter || d > maxRetryAfter {
+				t.Fatalf("adaptiveRetryAfter(%d, %d, %g) = %v, outside [%v, %v]",
+					q, cap, drain, d, overloadRetryAfter, maxRetryAfter)
+			}
+			if d < prev {
+				t.Fatalf("hint shrank as the queue grew: q=%d drain=%g: %v < %v", q, drain, d, prev)
+			}
+			prev = d
+		}
+	}
+
+	// Non-increasing in drain rate at a fixed queue length.
+	for _, q := range []int{1, 8, 32, cap} {
+		prev := maxRetryAfter + 1
+		for _, drain := range []float64{0.1, 1, 10, 100, 10000} {
+			d := adaptiveRetryAfter(q, cap, drain)
+			if d > prev {
+				t.Fatalf("hint grew as the drain sped up: q=%d drain=%g: %v > %v", q, drain, d, prev)
+			}
+			prev = d
+		}
+	}
+
+	// An empty queue is always the floor, whatever the rate.
+	if d := adaptiveRetryAfter(0, cap, 123); d != overloadRetryAfter {
+		t.Fatalf("empty queue hint = %v, want floor %v", d, overloadRetryAfter)
+	}
+}
+
+// TestFailoverHeaderSkipsRedirect: a request carrying api.HeaderFailover
+// to a non-owner is served in place (the client has declared the owner
+// down), where the same request without the header is 307-redirected.
+func TestFailoverHeaderSkipsRedirect(t *testing.T) {
+	const (
+		peerA = "http://shard-a.example:8080"
+		peerB = "http://shard-b.example:8080"
+	)
+	ring := api.NewRing([]string{peerA, peerB}, 0)
+
+	var foreign api.Program
+	found := false
+	for i := 0; i < 64 && !found; i++ {
+		p := api.Program{
+			Source: fmt.Sprintf("int f(void) { return %d; }", i),
+			Level:  api.LevelFull,
+		}
+		if ring.Owner(p.Key()) == peerB {
+			foreign, found = p, true
+		}
+	}
+	if !found {
+		t.Fatal("could not find a program owned by the other shard")
+	}
+
+	_, ts := newTestServer(t, Config{
+		Engine: serve.Config{Workers: 1, CacheEntries: 4},
+		Self:   peerA,
+		Peers:  []string{peerA, peerB},
+	})
+
+	noFollow := &http.Client{
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	body, _ := json.Marshal(api.RunRequest{Program: foreign, Entry: "f"})
+
+	// Without the header: redirected to the owner.
+	resp, err := noFollow.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("no header: status %d, want 307", resp.StatusCode)
+	}
+
+	// With the header: served here, bit-for-bit a normal run.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/run", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.HeaderFailover, "1")
+	resp, err = noFollow.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover header: status %d, want 200", resp.StatusCode)
+	}
+	run := decodeBody[api.RunResponse](t, resp)
+	if run.Value == 0 && !strings.Contains(foreign.Source, "return 0") {
+		t.Fatalf("failover run returned %d for %q", run.Value, foreign.Source)
+	}
+
+	// The serve shows up in the exposition.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	if !strings.Contains(buf.String(), "cashd_failover_served_total 1") {
+		t.Error("metrics missing cashd_failover_served_total 1")
+	}
+}

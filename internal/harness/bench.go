@@ -72,6 +72,7 @@ type BenchReport struct {
 	Rows      []BenchRow    `json:"rows"`
 	Parallel  []ParallelRow `json:"parallel,omitempty"`
 	Load      []LoadRow     `json:"load,omitempty"`
+	Chaos     []ChaosRow    `json:"chaos,omitempty"`
 }
 
 // Bench measures simulator throughput for the named workloads at every

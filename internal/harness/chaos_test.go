@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosBatterySmall runs a reduced battery — three peers, a kill
+// schedule and a corruption schedule — and asserts the resilience
+// contract end to end: every request succeeds bit-identically or fails
+// typed, no hangs, no silent wrong answers, and the kill schedule
+// actually fired.
+func TestChaosBatterySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos battery spins a cluster; skipped in -short")
+	}
+	opts := ChaosOptions{
+		Peers:       3,
+		Requests:    24,
+		Concurrency: 2,
+		Deadline:    10 * time.Second,
+		Seed:        1,
+		Schedules:   []string{"peer-kill", "corrupt"},
+	}
+	rows, err := ChaosBattery(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	if err := ChaosGate(rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.OK+r.Typed != r.Requests {
+			t.Errorf("%s: ok %d + typed %d != requests %d", r.Schedule, r.OK, r.Typed, r.Requests)
+		}
+		if r.AvailabilityPct <= 0 {
+			t.Errorf("%s: availability %.1f%%, want > 0", r.Schedule, r.AvailabilityPct)
+		}
+	}
+	// The kill schedule must actually have refused arrivals, or the test
+	// proves nothing.
+	if rows[0].Schedule != "peer-kill" || rows[0].Triggered == 0 {
+		t.Errorf("peer-kill schedule triggered %d refusals, want > 0", rows[0].Triggered)
+	}
+	// With failover walking the ring, a single dead peer should not
+	// cost any requests at all.
+	if rows[0].OK != rows[0].Requests {
+		t.Errorf("peer-kill: %d/%d succeeded; failover should mask a single dead peer",
+			rows[0].OK, rows[0].Requests)
+	}
+}

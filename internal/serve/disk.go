@@ -49,7 +49,10 @@ func (d *diskStore) path(key cacheKey) string {
 	return filepath.Join(d.dir, key.String()+diskSuffix)
 }
 
-// put writes an entry through to disk (atomic rename).
+// put writes an entry through to disk: temp file, fsync, atomic rename,
+// then a directory fsync so a crash right after put still finds either
+// nothing or the complete entry — never a torn file under the final
+// name. (The directory sync is best-effort: some filesystems refuse it.)
 func (d *diskStore) put(key cacheKey, p api.Program) error {
 	data, err := json.Marshal(diskEntry{Version: api.Version, Program: p})
 	if err != nil {
@@ -65,11 +68,50 @@ func (d *diskStore) put(key cacheKey, p api.Program) error {
 		os.Remove(name)
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(name)
 		return err
 	}
-	return os.Rename(name, d.path(key))
+	if err := os.Rename(name, d.path(key)); err != nil {
+		os.Remove(name)
+		return err
+	}
+	d.syncDir()
+	return nil
+}
+
+// syncDir persists the rename itself. A failure is ignored: the entry
+// is durable in content, and load verifies integrity anyway.
+func (d *diskStore) syncDir() {
+	dir, err := os.Open(d.dir)
+	if err != nil {
+		return
+	}
+	_ = dir.Sync()
+	dir.Close()
+}
+
+// quarantineDir is the subdirectory corrupt entries are moved into:
+// evidence of torn writes or bit rot stays inspectable instead of being
+// silently destroyed.
+const quarantineDir = "quarantine"
+
+// quarantine moves a corrupt entry aside; if the move itself fails the
+// entry is removed so it can never be served.
+func (d *diskStore) quarantine(path string) {
+	qdir := filepath.Join(d.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		_ = os.Remove(path)
+		return
+	}
+	if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err != nil {
+		_ = os.Remove(path)
+	}
 }
 
 // touch marks an entry recently used.
@@ -83,16 +125,19 @@ func (d *diskStore) remove(key cacheKey) {
 	_ = os.Remove(d.path(key))
 }
 
-// load reads every persisted entry, newest first, keeping at most max:
-// entries past the bound, unreadable files, stale wire versions, and
-// entries whose recomputed key no longer matches their filename (the
-// keying scheme changed) are deleted. It returns the survivors in
-// oldest-first order so the caller can insert them into an LRU and end
-// with the newest at the front.
-func (d *diskStore) load(max int) []loadedEntry {
+// load reads every persisted entry, newest first, keeping at most max.
+// Entries past the LRU bound and stale wire versions are deleted (both
+// are legitimate, explicable states); unreadable or truncated files and
+// entries whose content no longer re-hashes to their <keyhex> filename
+// are *quarantined* — moved under quarantine/ and counted, because they
+// are evidence of a torn write or bit rot that an operator should see.
+// It returns the survivors in oldest-first order so the caller can
+// insert them into an LRU and end with the newest at the front, plus
+// the number of entries quarantined.
+func (d *diskStore) load(max int) ([]loadedEntry, int) {
 	names, err := os.ReadDir(d.dir)
 	if err != nil {
-		return nil
+		return nil, 0
 	}
 	type candidate struct {
 		path  string
@@ -112,6 +157,7 @@ func (d *diskStore) load(max int) []loadedEntry {
 	sort.Slice(cands, func(i, j int) bool { return cands[i].mtime.After(cands[j].mtime) })
 
 	var out []loadedEntry
+	quarantined := 0
 	for i, c := range cands {
 		if i >= max {
 			_ = os.Remove(c.path) // LRU bound holds across restarts
@@ -122,17 +168,22 @@ func (d *diskStore) load(max int) []loadedEntry {
 		if err == nil {
 			err = json.Unmarshal(data, &ent)
 		}
-		var key cacheKey
-		if err == nil {
-			if ent.Version != api.Version {
-				err = fmt.Errorf("stale version %q", ent.Version)
-			} else if key, err = programKey(ent.Program); err == nil &&
-				filepath.Base(c.path) != key.String()+diskSuffix {
-				err = fmt.Errorf("key mismatch")
-			}
-		}
 		if err != nil {
-			_ = os.Remove(c.path) // corrupt or stale: recompiling would mis-key it
+			// Unreadable or torn: quarantine the evidence.
+			d.quarantine(c.path)
+			quarantined++
+			continue
+		}
+		if ent.Version != api.Version {
+			_ = os.Remove(c.path) // stale format, not corruption
+			continue
+		}
+		key, err := programKey(ent.Program)
+		if err != nil || filepath.Base(c.path) != key.String()+diskSuffix {
+			// The content does not hash to the filename: serving it
+			// would answer for a key it no longer matches.
+			d.quarantine(c.path)
+			quarantined++
 			continue
 		}
 		out = append(out, loadedEntry{key: key, prog: ent.Program})
@@ -141,7 +192,7 @@ func (d *diskStore) load(max int) []loadedEntry {
 	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
 		out[i], out[j] = out[j], out[i]
 	}
-	return out
+	return out, quarantined
 }
 
 // loadedEntry is one persisted program recovered at startup.

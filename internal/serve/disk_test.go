@@ -116,8 +116,10 @@ func TestDiskEvictionRemovesFile(t *testing.T) {
 	}
 }
 
-// TestDiskCorruptEntriesSkipped: garbage files, stale versions, and
-// mis-keyed entries are deleted at load, never served.
+// TestDiskCorruptEntriesSkipped: no invalid entry is ever served. Stale
+// wire versions are deleted (a legitimate format change); corrupt or
+// mis-keyed entries are quarantined — moved aside and counted, because
+// they are evidence of torn writes or bit rot.
 func TestDiskCorruptEntriesSkipped(t *testing.T) {
 	dir := t.TempDir()
 	junk := map[string]string{
@@ -132,12 +134,80 @@ func TestDiskCorruptEntriesSkipped(t *testing.T) {
 	}
 	e := newEngine(t, Config{Workers: 1, CacheEntries: 4, CacheDir: dir})
 	defer e.Close()
-	if got := e.Stats().DiskLoaded; got != 0 {
-		t.Fatalf("DiskLoaded = %d, want 0 (all entries invalid)", got)
+	s := e.Stats()
+	if s.DiskLoaded != 0 {
+		t.Fatalf("DiskLoaded = %d, want 0 (all entries invalid)", s.DiskLoaded)
+	}
+	if s.DiskQuarantined != 2 {
+		t.Fatalf("DiskQuarantined = %d, want 2 (garbage + mis-keyed; stale version is a plain delete)", s.DiskQuarantined)
 	}
 	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
 	if len(files) != 0 {
-		t.Fatalf("invalid entries not pruned: %v", files)
+		t.Fatalf("invalid entries still servable: %v", files)
+	}
+	quarantined, _ := filepath.Glob(filepath.Join(dir, quarantineDir, "*"))
+	if len(quarantined) != 2 {
+		t.Fatalf("quarantine holds %d files, want 2: %v", len(quarantined), quarantined)
+	}
+	for _, q := range quarantined {
+		if filepath.Base(q) == "0000000000000000000000000000000000000000000000000000000000000000.json" {
+			t.Error("stale-version entry was quarantined; it should be deleted")
+		}
+	}
+}
+
+// TestDiskTornWriteQuarantined simulates a crash mid-write: a truncated
+// entry file must be quarantined (not served, not silently deleted) and
+// the program recompiled on demand with a bit-identical result.
+func TestDiskTornWriteQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	e1 := newEngine(t, Config{Workers: 1, CacheEntries: 4, CacheDir: dir})
+	req := testReq(srcLoop, api.LevelFull, "f", 10)
+	ref, err := e1.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Close()
+
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("persisted %d entries, want 1", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the write in half.
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newEngine(t, Config{Workers: 1, CacheEntries: 4, CacheDir: dir})
+	defer e2.Close()
+	s := e2.Stats()
+	if s.DiskLoaded != 0 || s.DiskQuarantined != 1 {
+		t.Fatalf("loaded %d / quarantined %d, want 0 / 1", s.DiskLoaded, s.DiskQuarantined)
+	}
+	if q, _ := filepath.Glob(filepath.Join(dir, quarantineDir, "*.json")); len(q) != 1 {
+		t.Fatalf("quarantine holds %d files, want the torn entry", len(q))
+	}
+	// The program is gone from the cache but not from the service:
+	// the next request recompiles it, bit-identically.
+	resp, err := e2.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Error("torn entry somehow served as a cache hit")
+	}
+	if resp.Value != ref.Value || resp.Stats.Cycles != ref.Stats.Cycles || resp.Stats.Events != ref.Stats.Events {
+		t.Errorf("recompiled run diverged: (%d,%d,%d) vs (%d,%d,%d)",
+			resp.Value, resp.Stats.Cycles, resp.Stats.Events, ref.Value, ref.Stats.Cycles, ref.Stats.Events)
+	}
+	// And the recompile re-persisted a good entry under the same key.
+	files2, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files2) != 1 || files2[0] != files[0] {
+		t.Errorf("recompiled entry not re-persisted: %v", files2)
 	}
 }
 

@@ -128,6 +128,7 @@ type Stats struct {
 	Completed uint64 // runs finished successfully
 	Failed    uint64 // requests that ended in a compile or run error
 	Rejected  uint64 // requests shed with ErrOverload
+	Canceled  uint64 // requests abandoned while queued (never ran)
 
 	CacheHits      uint64 // lookups served by a ready entry
 	CacheShared    uint64 // lookups that joined an in-flight compile
@@ -135,9 +136,10 @@ type Stats struct {
 	CacheEvictions uint64 // ready entries evicted by the LRU bound
 	CacheEntries   int    // entries currently resident
 
-	QueueLen   int // requests waiting for a worker right now
-	QueueCap   int // admission queue bound (Config.QueueDepth)
-	DiskLoaded int // entries warmed from CacheDir at startup
+	QueueLen        int // requests waiting for a worker right now
+	QueueCap        int // admission queue bound (Config.QueueDepth)
+	DiskLoaded      int // entries warmed from CacheDir at startup
+	DiskQuarantined int // corrupt persisted entries quarantined at startup
 }
 
 // HitRate returns the fraction of lookups that avoided a compile.
@@ -174,8 +176,9 @@ type Engine struct {
 
 	// disk is the persistent cache store; nil without Config.CacheDir.
 	// All disk operations happen outside e.mu and are best-effort.
-	disk       *diskStore
-	diskLoaded int
+	disk            *diskStore
+	diskLoaded      int
+	diskQuarantined int
 
 	// compileFn builds a Compiled for a request; tests swap it to count
 	// and instrument pipeline executions.
@@ -184,6 +187,7 @@ type Engine struct {
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	rejected  atomic.Uint64
+	canceled  atomic.Uint64
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -210,7 +214,9 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		e.disk = d
-		for _, ent := range d.load(cfg.CacheEntries) {
+		entries, quarantined := d.load(cfg.CacheEntries)
+		e.diskQuarantined = quarantined
+		for _, ent := range entries {
 			cp, err := e.compileFn(Request{Program: ent.prog})
 			if err != nil {
 				d.remove(ent.key)
@@ -334,14 +340,22 @@ func (e *Engine) submit(ctx context.Context, req Request, block bool) (*Response
 	}
 }
 
+// errAbandoned marks a job whose caller gave up while it was still
+// queued: the work never ran, so it is neither a completion nor a
+// failure. The caller's own context error is wrapped alongside.
+var errAbandoned = errors.New("serve: request abandoned while queued")
+
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for j := range e.queue {
 		resp, err := e.process(j)
-		if err != nil {
-			e.failed.Add(1)
-		} else {
+		switch {
+		case err == nil:
 			e.completed.Add(1)
+		case errors.Is(err, errAbandoned):
+			e.canceled.Add(1)
+		default:
+			e.failed.Add(1)
 		}
 		j.done <- jobResult{resp: resp, err: err}
 	}
@@ -353,8 +367,9 @@ func (e *Engine) worker() {
 func (e *Engine) process(j *job) (*Response, error) {
 	wait := time.Since(j.queued)
 	if err := j.ctx.Err(); err != nil {
-		// Abandoned while queued (deadline or caller cancellation).
-		return nil, err
+		// Abandoned while queued (deadline or caller cancellation): the
+		// run never starts, and Stats counts it apart from failures.
+		return nil, fmt.Errorf("%w: %w", errAbandoned, err)
 	}
 	cp, hit, err := e.Resolve(j.ctx, j.req)
 	if err != nil {
@@ -418,17 +433,19 @@ func (e *Engine) Resolve(ctx context.Context, req Request) (*core.Compiled, bool
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	s := Stats{
-		CacheHits:      e.cache.hits,
-		CacheShared:    e.cache.shared,
-		CacheMisses:    e.cache.misses,
-		CacheEvictions: e.cache.evictions,
-		CacheEntries:   e.cache.lru.Len(),
-		DiskLoaded:     e.diskLoaded,
+		CacheHits:       e.cache.hits,
+		CacheShared:     e.cache.shared,
+		CacheMisses:     e.cache.misses,
+		CacheEvictions:  e.cache.evictions,
+		CacheEntries:    e.cache.lru.Len(),
+		DiskLoaded:      e.diskLoaded,
+		DiskQuarantined: e.diskQuarantined,
 	}
 	e.mu.Unlock()
 	s.Completed = e.completed.Load()
 	s.Failed = e.failed.Load()
 	s.Rejected = e.rejected.Load()
+	s.Canceled = e.canceled.Load()
 	s.QueueLen = len(e.queue)
 	s.QueueCap = e.cfg.QueueDepth
 	return s

@@ -228,11 +228,33 @@ func TestCanceledWhileQueued(t *testing.T) {
 	if err := <-first; err != nil {
 		t.Fatal(err)
 	}
-	// The canceled job must not have produced a completed run: exactly
-	// one run (the first) completed; the second counts as failed when the
-	// worker observes its dead context, or was never processed.
+	// The canceled job must not have produced a completed run, and it is
+	// counted as Canceled — distinct from Failed (it ran into no error;
+	// it never ran) and from Rejected (it was admitted).
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Canceled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never drained the abandoned job: %+v", e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
 	s := e.Stats()
 	if s.Completed != 1 {
 		t.Fatalf("completed = %d, want 1", s.Completed)
+	}
+	if s.Canceled != 1 || s.Failed != 0 || s.Rejected != 0 {
+		t.Fatalf("canceled/failed/rejected = %d/%d/%d, want 1/0/0", s.Canceled, s.Failed, s.Rejected)
+	}
+	// Close must drain cleanly with abandoned work in history — guard
+	// against a wedge with a watchdog.
+	closed := make(chan struct{})
+	go func() {
+		e.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close wedged after an abandoned-while-queued request")
 	}
 }
