@@ -118,6 +118,12 @@ type Program struct {
 	// statistics; the choice still keys the compile cache, because a
 	// cached Compiled carries its backend's prebuilt structures.
 	Backend string `json:"backend,omitempty"`
+	// Partitions is the event-domain count for partitioned interpreter
+	// execution; 0 and 1 (the default) mean the sequential queue.
+	// Results are bit-identical for every value, but the setting keys
+	// the compile cache because a cached Compiled carries its prebuilt
+	// domain assignment.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // CompileRequest is the body of POST /v1/compile: compile (and cache) a

@@ -37,9 +37,9 @@ func jsonFields(t *testing.T, typ reflect.Type) []string {
 // deployed clients and must fail this test.
 func TestWireStability(t *testing.T) {
 	want := map[reflect.Type][]string{
-		reflect.TypeOf(Program{}): {"backend", "level", "passes", "sim", "source"},
+		reflect.TypeOf(Program{}): {"backend", "level", "partitions", "passes", "sim", "source"},
 		reflect.TypeOf(RunRequest{}): {
-			"args", "backend", "entry", "level", "passes", "sim", "source", "timeout_ms", "trace",
+			"args", "backend", "entry", "level", "partitions", "passes", "sim", "source", "timeout_ms", "trace",
 		},
 		reflect.TypeOf(BatchRequest{}): {"runs"},
 		reflect.TypeOf(SimConfig{}):    {"edge_cap", "max_activations", "max_cycles", "mem"},

@@ -108,52 +108,62 @@ func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
 	return &breaker{cfg: cfg, now: now, window: make([]bool, cfg.window())}
 }
 
-// allow reports whether a request may be routed to this peer right now.
-// Every true return must be paired with exactly one record call: in the
-// half-open state, allow hands out the single probe slot.
-func (b *breaker) allow() bool {
+// allow reports whether a request may be routed to this peer right now,
+// and whether that admission holds the half-open state's single probe
+// slot. Every admitted attempt must be paired with exactly one record
+// call carrying the same probe flag: only the probe's outcome may move
+// a non-closed circuit. Callers routed here anyway (pickPeer's
+// last-resort fallback) record with probe=false and cannot flip the
+// circuit under the real probe.
+func (b *breaker) allow() (ok, probe bool) {
 	if b == nil || b.cfg.Disabled {
-		return true
+		return true, false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case bkClosed:
-		return true
+		return true, false
 	case bkOpen:
 		if b.now().Sub(b.openedAt) >= b.cfg.cooldown() {
 			b.state = bkHalfOpen
 			b.probing = true
-			return true
+			return true, true
 		}
-		return false
+		return false, false
 	default: // half-open
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
 }
 
 // record feeds one attempt's outcome back. A half-open probe's success
 // closes the circuit (and clears history); its failure re-opens it. In
 // the closed state, outcomes land in the sliding window and the breaker
-// opens when the failure rate crosses the threshold.
-func (b *breaker) record(oc outcome) {
+// opens when the failure rate crosses the threshold. Outside the closed
+// state, outcomes from non-probe attempts are dropped: they were routed
+// past a refusing breaker, often started before the circuit opened, and
+// letting them stand in for the probe re-opens (or worse, closes) the
+// circuit on evidence the probe never gathered.
+func (b *breaker) record(oc outcome, probe bool) {
 	if b == nil || b.cfg.Disabled {
 		return
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.state == bkHalfOpen {
-		b.probing = false
-		switch oc {
-		case outcomeOK:
-			b.resetLocked()
-		case outcomeFault:
-			b.state = bkOpen
-			b.openedAt = b.now()
+	if b.state != bkClosed {
+		if b.state == bkHalfOpen && probe {
+			b.probing = false
+			switch oc {
+			case outcomeOK:
+				b.resetLocked()
+			case outcomeFault:
+				b.state = bkOpen
+				b.openedAt = b.now()
+			}
 		}
 		return
 	}
@@ -161,7 +171,7 @@ func (b *breaker) record(oc outcome) {
 		return
 	}
 	b.pushLocked(oc == outcomeOK)
-	if b.state == bkClosed && b.n >= b.cfg.minSamples() &&
+	if b.n >= b.cfg.minSamples() &&
 		float64(b.fails)/float64(b.n) >= b.cfg.failureRate() {
 		b.state = bkOpen
 		b.openedAt = b.now()

@@ -1,6 +1,8 @@
 package client
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -16,55 +18,55 @@ func testBreaker(cooldown time.Duration) (*breaker, *time.Time) {
 // closed circuit with a fake clock.
 func TestBreakerLifecycle(t *testing.T) {
 	b, now := testBreaker(time.Second)
-	if !b.allow() {
-		t.Fatal("fresh breaker must be closed")
+	if ok, probe := b.allow(); !ok || probe {
+		t.Fatalf("fresh breaker: allow = (%v, %v), want closed admission (true, false)", ok, probe)
 	}
 	// Failures below MinSamples leave it closed.
 	for i := 0; i < 3; i++ {
-		b.record(outcomeFault)
+		b.record(outcomeFault, false)
 	}
 	if got := b.stateName(); got != "closed" {
 		t.Fatalf("after 3 faults: %s, want closed (below MinSamples)", got)
 	}
 	// The fourth failure crosses the rate threshold.
-	b.record(outcomeFault)
+	b.record(outcomeFault, false)
 	if got := b.stateName(); got != "open" {
 		t.Fatalf("after 4/4 faults: %s, want open", got)
 	}
-	if b.allow() {
+	if ok, _ := b.allow(); ok {
 		t.Fatal("open breaker admitted a request before cooldown")
 	}
 	// Cooldown elapses: exactly one half-open probe is admitted.
 	*now = now.Add(time.Second)
-	if !b.allow() {
-		t.Fatal("cooldown elapsed but probe refused")
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatalf("cooldown elapsed: allow = (%v, %v), want the probe slot (true, true)", ok, probe)
 	}
-	if b.allow() {
+	if ok, _ := b.allow(); ok {
 		t.Fatal("second concurrent probe admitted in half-open")
 	}
 	// The probe fails: re-open, fresh cooldown.
-	b.record(outcomeFault)
+	b.record(outcomeFault, true)
 	if got := b.stateName(); got != "open" {
 		t.Fatalf("failed probe left state %s, want open", got)
 	}
-	if b.allow() {
+	if ok, _ := b.allow(); ok {
 		t.Fatal("re-opened breaker admitted a request")
 	}
 	// Next probe succeeds: closed again, history cleared.
 	*now = now.Add(time.Second)
-	if !b.allow() {
+	if ok, probe := b.allow(); !ok || !probe {
 		t.Fatal("second probe refused")
 	}
-	b.record(outcomeOK)
+	b.record(outcomeOK, true)
 	if got := b.stateName(); got != "closed" {
 		t.Fatalf("successful probe left state %s, want closed", got)
 	}
 	// History was cleared: three fresh faults don't re-trip.
 	for i := 0; i < 3; i++ {
-		if !b.allow() {
+		if ok, _ := b.allow(); !ok {
 			t.Fatal("closed breaker refused traffic")
 		}
-		b.record(outcomeFault)
+		b.record(outcomeFault, false)
 	}
 	if got := b.stateName(); got != "closed" {
 		t.Fatalf("window not cleared on close: %s", got)
@@ -76,25 +78,25 @@ func TestBreakerLifecycle(t *testing.T) {
 func TestBreakerNeutralOutcomes(t *testing.T) {
 	b, _ := testBreaker(time.Second)
 	for i := 0; i < 50; i++ {
-		b.record(outcomeNeutral)
+		b.record(outcomeNeutral, false)
 	}
 	if got := b.stateName(); got != "closed" {
 		t.Fatalf("neutral outcomes tripped the breaker: %s", got)
 	}
 	// A neutral half-open probe releases the slot without closing.
 	for i := 0; i < 4; i++ {
-		b.record(outcomeFault)
+		b.record(outcomeFault, false)
 	}
 	bNow := b.now().Add(2 * time.Second)
 	b.now = func() time.Time { return bNow }
-	if !b.allow() {
+	if ok, probe := b.allow(); !ok || !probe {
 		t.Fatal("probe refused after cooldown")
 	}
-	b.record(outcomeNeutral)
+	b.record(outcomeNeutral, true)
 	if got := b.stateName(); got != "half-open" {
 		t.Fatalf("neutral probe moved state to %s, want half-open", got)
 	}
-	if !b.allow() {
+	if ok, probe := b.allow(); !ok || !probe {
 		t.Fatal("probe slot not released after neutral outcome")
 	}
 }
@@ -104,15 +106,102 @@ func TestBreakerMixedWindow(t *testing.T) {
 	b, _ := testBreaker(time.Second)
 	// Alternate ok/fault: 50% failure rate >= threshold once MinSamples
 	// is reached.
-	b.record(outcomeOK)
-	b.record(outcomeFault)
-	b.record(outcomeOK)
+	b.record(outcomeOK, false)
+	b.record(outcomeFault, false)
+	b.record(outcomeOK, false)
 	if got := b.stateName(); got != "closed" {
 		t.Fatalf("1/3 failures tripped: %s", got)
 	}
-	b.record(outcomeFault)
+	b.record(outcomeFault, false)
 	if got := b.stateName(); got != "open" {
 		t.Fatalf("2/4 failures at threshold 0.5 left state %s, want open", got)
+	}
+}
+
+// TestBreakerNonProbeRecords: outcomes from attempts that were routed
+// past a refusing breaker (pickPeer's fallback) must not move a
+// non-closed circuit — neither re-open it under the probe nor close it
+// without one. The former symptom: any caller's stale fault was treated
+// as "the probe failed", so a recovering peer behind a burst of
+// fallback traffic could never leave half-open.
+func TestBreakerNonProbeRecords(t *testing.T) {
+	b, now := testBreaker(time.Second)
+	for i := 0; i < 4; i++ {
+		b.record(outcomeFault, false)
+	}
+	*now = now.Add(time.Second)
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatal("probe refused after cooldown")
+	}
+	// Fallback traffic reports while the probe is in flight.
+	b.record(outcomeFault, false)
+	if got := b.stateName(); got != "half-open" {
+		t.Fatalf("non-probe fault moved half-open state to %s", got)
+	}
+	b.record(outcomeOK, false)
+	if got := b.stateName(); got != "half-open" {
+		t.Fatalf("non-probe success moved half-open state to %s", got)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("probe slot stolen by a non-probe record")
+	}
+	// Only the probe's own outcome closes the circuit.
+	b.record(outcomeOK, true)
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("probe success left state %s, want closed", got)
+	}
+
+	// Open state: fallback records are equally inert.
+	for i := 0; i < 4; i++ {
+		b.record(outcomeFault, false)
+	}
+	b.record(outcomeOK, false)
+	if got := b.stateName(); got != "open" {
+		t.Fatalf("non-probe success moved open state to %s", got)
+	}
+}
+
+// TestBreakerSingleProbeConcurrent: under concurrent callers (run with
+// -race), an open breaker past cooldown admits exactly one probe; the
+// losers' outcomes never flip the circuit.
+func TestBreakerSingleProbeConcurrent(t *testing.T) {
+	b, now := testBreaker(time.Second)
+	for i := 0; i < 4; i++ {
+		b.record(outcomeFault, false)
+	}
+	*now = now.Add(time.Second)
+
+	const callers = 16
+	var probes, admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, probe := b.allow()
+			if ok {
+				admitted.Add(1)
+			}
+			if !probe {
+				// A refused caller routed elsewhere still reports its
+				// attempt; simulate the worst case of stale fallback
+				// faults landing on this breaker.
+				b.record(outcomeFault, false)
+				return
+			}
+			probes.Add(1)
+		}()
+	}
+	wg.Wait()
+	if probes.Load() != 1 || admitted.Load() != 1 {
+		t.Fatalf("admitted %d callers with %d probe slots, want exactly 1/1", admitted.Load(), probes.Load())
+	}
+	if got := b.stateName(); got != "half-open" {
+		t.Fatalf("fallback faults moved the circuit to %s with the probe still in flight", got)
+	}
+	b.record(outcomeOK, true)
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("probe success left state %s, want closed", got)
 	}
 }
 
@@ -124,14 +213,14 @@ func TestBreakerHealthSignals(t *testing.T) {
 	if got := b.stateName(); got != "open" {
 		t.Fatalf("failed health check left state %s, want open", got)
 	}
-	if b.allow() {
+	if ok, _ := b.allow(); ok {
 		t.Fatal("open breaker admitted traffic inside a long cooldown")
 	}
 	b.observeHealth(true)
 	if got := b.stateName(); got != "closed" {
 		t.Fatalf("healthy check left state %s, want closed", got)
 	}
-	if !b.allow() {
+	if ok, _ := b.allow(); !ok {
 		t.Fatal("recovered breaker refused traffic")
 	}
 }
@@ -140,9 +229,9 @@ func TestBreakerHealthSignals(t *testing.T) {
 func TestBreakerDisabled(t *testing.T) {
 	b := newBreaker(BreakerConfig{Disabled: true}, nil)
 	for i := 0; i < 20; i++ {
-		b.record(outcomeFault)
-		if !b.allow() {
-			t.Fatal("disabled breaker refused traffic")
+		b.record(outcomeFault, false)
+		if ok, probe := b.allow(); !ok || probe {
+			t.Fatal("disabled breaker refused traffic or handed out a probe slot")
 		}
 	}
 	if got := b.stateName(); got != "closed" {

@@ -243,6 +243,7 @@ func (c *Client) Trace(ctx context.Context, id string, w io.Writer) error {
 			return err
 		}
 		lastErr = decodeError(resp)
+		drainBody(resp.Body)
 		resp.Body.Close()
 	}
 	if lastErr == nil {
@@ -300,6 +301,7 @@ func (c *Client) Health(ctx context.Context) (*HealthReport, error) {
 		if err != nil {
 			ph.Err = err.Error()
 		} else {
+			drainBody(resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
 				ph.Err = fmt.Sprintf("status %d", resp.StatusCode)
@@ -323,18 +325,21 @@ func (c *Client) Health(ctx context.Context) (*HealthReport, error) {
 
 // pickPeer walks the preference sequence and returns the first peer
 // whose breaker admits a request and that has not already faulted during
-// this call. When everything is excluded it falls back to the primary:
-// while peers exist the client always probes rather than refusing.
-func (c *Client) pickPeer(cands []string, skip map[string]bool) string {
+// this call, plus whether the admission holds that peer's half-open
+// probe slot. When everything is excluded it falls back to the primary:
+// while peers exist the client always probes rather than refusing — but
+// a fallback attempt does not own a probe slot, and its outcome must
+// not move the refused breaker (probe=false).
+func (c *Client) pickPeer(cands []string, skip map[string]bool) (peer string, probe bool) {
 	for _, p := range cands {
 		if skip[p] {
 			continue
 		}
-		if c.breakerFor(p).allow() {
-			return p
+		if ok, probe := c.breakerFor(p).allow(); ok {
+			return p, probe
 		}
 	}
-	return cands[0]
+	return cands[0], false
 }
 
 // post sends one JSON request with the retry/failover loop. Overload
@@ -365,10 +370,10 @@ func (c *Client) postAs(ctx context.Context, cands []string, primary, path strin
 	}
 	var skip map[string]bool
 	for attempt := 0; ; attempt++ {
-		peer := c.pickPeer(cands, skip)
+		peer, probe := c.pickPeer(cands, skip)
 		start := c.now()
 		oc, err := c.do(ctx, peer, path, data, out, peer != primary)
-		c.breakerFor(peer).record(oc)
+		c.breakerFor(peer).record(oc, probe)
 		if err == nil {
 			c.observeLatency(c.now().Sub(start))
 			return nil
@@ -508,6 +513,15 @@ func (c *Client) observeLatency(d time.Duration) {
 // buffer; traces stream through Trace, so service responses stay small.
 const maxResponseBytes = 16 << 20
 
+// drainBody consumes what remains of a response body (bounded) so the
+// transport sees EOF and can return the connection to the keep-alive
+// pool. Closing with bytes still unread discards the connection, so
+// every partially-read response — an oversized body, a decoded error —
+// would otherwise cost the next attempt a fresh connection setup.
+func drainBody(r io.Reader) {
+	io.Copy(io.Discard, io.LimitReader(r, maxResponseBytes))
+}
+
 // do performs one HTTP attempt against peer, classifying the result for
 // the peer's circuit breaker. failover marks the request as deliberately
 // off-owner so the daemon serves it instead of redirecting.
@@ -536,11 +550,21 @@ func (c *Client) do(ctx context.Context, peer, path string, data []byte, out any
 	}
 	if resp.StatusCode == http.StatusOK {
 		body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		if err == nil {
+			drainBody(resp.Body)
+		}
 		resp.Body.Close()
 		if err == nil {
 			err = json.Unmarshal(body, out)
 		}
 		if err != nil {
+			if ctx.Err() != nil {
+				// Canceled mid-read — a losing hedge or the caller's own
+				// budget. The torn body says nothing about peer health; a
+				// fault here would poison a healthy peer's breaker every
+				// time its hedge loses the race.
+				return outcomeNeutral, ctxError(ctx, err)
+			}
 			// A 200 with an unusable body is a peer fault (truncated or
 			// corrupted response), never a wrong answer to the caller.
 			return outcomeFault, &api.Error{Class: api.ClassUnavailable,
@@ -550,6 +574,7 @@ func (c *Client) do(ctx context.Context, peer, path string, data []byte, out any
 		return outcomeOK, nil
 	}
 	apiErr := decodeError(resp)
+	drainBody(resp.Body)
 	resp.Body.Close()
 	switch apiErr.Class {
 	case api.ClassInternal, api.ClassClosed, api.ClassUnavailable:

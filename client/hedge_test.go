@@ -1,0 +1,158 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spatial/api"
+)
+
+// TestHedgeLoserNeutral: a hedge loser canceled mid-body is neutral for
+// its peer's breaker. Before the fix, the torn read was classified as a
+// peer fault, so a peer that merely lost the race — while answering
+// 200 — had its breaker poisoned on every hedged read; with an eager
+// breaker config one loss was enough to open the circuit against a
+// healthy peer.
+func TestHedgeLoserNeutral(t *testing.T) {
+	payload, _ := json.Marshal(&api.RunResponse{Value: 9})
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Commit the 200 and half the body, then stall: the loser's
+		// cancellation lands mid-read, not mid-connect.
+		w.Header().Set("Content-Length", fmt.Sprint(len(payload)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(payload[:len(payload)/2])
+		w.(http.Flusher).Flush()
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer slow.Close()
+	defer close(release)
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer fast.Close()
+
+	peers := []string{slow.URL, fast.URL}
+	c, err := New(Config{
+		Peers: peers, Hedge: true, HedgeDelay: 10 * time.Millisecond,
+		// One fault trips the circuit — exactly the configuration the
+		// old misclassification broke.
+		Breaker: BreakerConfig{Window: 4, MinSamples: 1, FailureRate: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := programOwnedBy(t, api.NewRing(peers, 0), slow.URL)
+	for i := 0; i < 3; i++ {
+		rr, err := c.Run(context.Background(), api.RunRequest{Program: p, Entry: "f"})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if rr.Value != 9 {
+			t.Fatalf("run %d: value %d, want 9", i, rr.Value)
+		}
+	}
+	if got := c.breakerFor(slow.URL).stateName(); got != "closed" {
+		t.Fatalf("losing peer's breaker is %s, want closed: hedge losses are not peer faults", got)
+	}
+}
+
+// TestHedgeNoGoroutineLeak: repeated hedged reads leave no goroutines
+// behind — the loser's attempt is canceled, its body closed, and its
+// postAs loop unwound.
+func TestHedgeNoGoroutineLeak(t *testing.T) {
+	payload, _ := json.Marshal(&api.RunResponse{Value: 9})
+	handler := func(delay time.Duration) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+			w.Write(payload)
+		}
+	}
+	slow := httptest.NewServer(handler(400 * time.Millisecond))
+	defer slow.Close()
+	fast := httptest.NewServer(handler(0))
+	defer fast.Close()
+
+	peers := []string{slow.URL, fast.URL}
+	c, err := New(Config{Peers: peers, Hedge: true, HedgeDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := programOwnedBy(t, api.NewRing(peers, 0), slow.URL)
+
+	// Warm-up: populate the transport's keep-alive pool (its per-idle-
+	// connection read/write loops are persistent, not leaks) before
+	// taking the baseline.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Run(context.Background(), api.RunRequest{Program: p, Entry: "f"}); err != nil {
+			t.Fatalf("warm-up run %d: %v", i, err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Run(context.Background(), api.RunRequest{Program: p, Entry: "f"}); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines: %d before, %d after 10 hedged runs\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestErrorBodyDrainedForReuse: a decoded error response larger than
+// decodeError's read limit is drained before close, so the keep-alive
+// connection is reused instead of being torn down mid-body. One client
+// retrying against one shedding daemon must stay on one connection.
+func TestErrorBodyDrainedForReuse(t *testing.T) {
+	shed, _ := json.Marshal(&api.Error{Class: api.ClassOverload,
+		Message: "shed " + strings.Repeat("x", 2<<20)}) // past the 1MB error-read limit
+	var conns atomic.Int64
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write(shed)
+	}))
+	ts.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	c, err := New(Config{Peers: []string{ts.URL}, MaxRetries: 3, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background(), api.RunRequest{Program: api.Program{Source: "x"}, Entry: "f"})
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Class != api.ClassOverload {
+		t.Fatalf("err = %v, want overload", err)
+	}
+	if n := conns.Load(); n != 1 {
+		t.Errorf("4 sequential attempts used %d connections, want 1 (bodies not drained for reuse)", n)
+	}
+}

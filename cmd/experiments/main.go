@@ -8,6 +8,7 @@
 //	            [-bench name[,name...]] [-quick]
 //	experiments -exp bench [-bench name[,name...]] [-benchtime 200ms]
 //	            [-benchout BENCH.json] [-allocbudget 0.01]
+//	            [-partitions 1,2,4|none] [-partallocbudget 0.05]
 //	experiments -exp serve [-bench name[,name...]] [-benchtime 200ms]
 //	experiments -exp load [-url http://host:port] [-rates 25,50,100,200,400]
 //	            [-loaddur 2s] [-short] [-benchout BENCH.json]
@@ -66,6 +67,8 @@ func main() {
 	benchTime := flag.Duration("benchtime", 200*time.Millisecond, "minimum timed duration per (workload, level) for -exp bench")
 	benchOut := flag.String("benchout", "", "write the -exp bench report as JSON to this file")
 	allocBudget := flag.Float64("allocbudget", -1, "fail -exp bench if any allocs/event exceeds this (negative disables)")
+	partAllocBudget := flag.Float64("partallocbudget", -1, "fail -exp bench if any partitioned row's allocs/event exceeds this (negative disables)")
+	partitions := flag.String("partitions", "", "-exp bench: comma-separated domain counts for the partitioned rows (default 1,2,4; \"none\" skips)")
 	backend := flag.String("backend", "both", "-exp bench: engines to measure: both, interp, compiled")
 	loadURL := flag.String("url", "", "-exp load: target daemon base URL (empty starts one in-process)")
 	loadRates := flag.String("rates", "", "-exp load: comma-separated offered rates in req/s")
@@ -97,7 +100,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runBench(benchNames, *benchTime, *benchOut, *allocBudget, backends); err != nil {
+		parts, err := benchPartitions(*partitions)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runBench(benchNames, *benchTime, *benchOut, *allocBudget, *partAllocBudget, backends, parts); err != nil {
 			fatal(err)
 		}
 		return
@@ -249,12 +256,40 @@ func benchBackends(flagVal string) ([]string, error) {
 	}
 }
 
+// benchPartitions maps the -partitions flag onto a domain-count sweep.
+func benchPartitions(flagVal string) ([]int, error) {
+	switch flagVal {
+	case "":
+		return harness.BenchPartitions, nil
+	case "none":
+		return nil, nil
+	}
+	var parts []int
+	for _, field := range strings.Split(flagVal, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -partitions %q (want a comma-separated list of counts ≥ 1, or \"none\")", flagVal)
+		}
+		parts = append(parts, n)
+	}
+	if parts[0] != 1 {
+		// The first count anchors Speedup; without a sequential row the
+		// ratios would be against an arbitrary domain count.
+		parts = append([]int{1}, parts...)
+	}
+	return parts, nil
+}
+
 // runBench measures simulator throughput over the baseline workload set
 // at every optimization level on the selected backends (default both,
-// paired so each codegen row carries its same-run speedup), prints the
+// paired so each codegen row carries its same-run speedup), plus the
+// batch-parallel and intra-run partitioned scaling curves, prints the
 // table plus benchstat-comparable lines, optionally writes BENCH.json,
-// and enforces the allocs/event budget (the CI smoke gate).
-func runBench(names []string, benchTime time.Duration, out string, allocBudget float64, backends []string) error {
+// and enforces the allocs/event budgets and — on multi-core machines
+// only — the scaling assertions (the CI smoke gate). Rows measured with
+// GOMAXPROCS=1 are flagged degenerate and exempt from the speedup
+// checks: time-slicing one core cannot scale.
+func runBench(names []string, benchTime time.Duration, out string, allocBudget, partAllocBudget float64, backends []string, parts []int) error {
 	if len(names) == 0 {
 		names = harness.BenchSet
 	}
@@ -265,6 +300,12 @@ func runBench(names []string, benchTime time.Duration, out string, allocBudget f
 	rep.Parallel, err = harness.BenchParallel(names, harness.BenchWorkers, benchTime)
 	if err != nil {
 		return fmt.Errorf("bench: %w", err)
+	}
+	if len(parts) > 0 {
+		rep.Partitioned, err = harness.BenchPartitioned(names, parts, benchTime)
+		if err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
 	}
 	fmt.Print(harness.FormatBench(rep))
 	fmt.Println()
@@ -284,6 +325,54 @@ func runBench(names []string, benchTime time.Duration, out string, allocBudget f
 			return fmt.Errorf("bench: allocs/event %.4f exceeds budget %.4f", worst, allocBudget)
 		}
 		fmt.Printf("allocs/event within budget %.4f (worst %.4f)\n", allocBudget, rep.MaxAllocsPerEvent())
+	}
+	if partAllocBudget >= 0 {
+		worst := 0.0
+		for _, row := range rep.Partitioned {
+			if row.AllocsPerEv > worst {
+				worst = row.AllocsPerEv
+			}
+		}
+		if worst > partAllocBudget {
+			return fmt.Errorf("bench: partitioned allocs/event %.4f exceeds budget %.4f", worst, partAllocBudget)
+		}
+		fmt.Printf("partitioned allocs/event within budget %.4f (worst %.4f)\n", partAllocBudget, worst)
+	}
+	return benchAssertScaling(rep)
+}
+
+// benchAssertScaling is the multi-core smoke gate: each workload's
+// batch-parallel curve and intra-run partitioned curve must clear 1.0×
+// somewhere — best point across the sweep, so one noisy measurement
+// cannot fail CI. Degenerate rows (measured with GOMAXPROCS=1) are
+// reported but never asserted.
+func benchAssertScaling(rep *harness.BenchReport) error {
+	bestPar := map[string]float64{}
+	for _, row := range rep.Parallel {
+		if row.Workers > 1 && !row.Degenerate && row.Speedup > bestPar[row.Workload] {
+			bestPar[row.Workload] = row.Speedup
+		}
+	}
+	for name, best := range bestPar {
+		if best <= 1.0 {
+			return fmt.Errorf("bench: %s parallel speedup peaked at %.2fx on a multi-core machine", name, best)
+		}
+	}
+	bestPart := map[string]float64{}
+	for _, row := range rep.Partitioned {
+		if row.Partitions > 1 && !row.Degenerate && row.Speedup > bestPart[row.Workload] {
+			bestPart[row.Workload] = row.Speedup
+		}
+	}
+	for name, best := range bestPart {
+		if best <= 1.0 {
+			return fmt.Errorf("bench: %s partitioned speedup peaked at %.2fx on a multi-core machine", name, best)
+		}
+	}
+	if n := len(bestPar) + len(bestPart); n > 0 {
+		fmt.Printf("scaling gate: %d workload curves cleared 1.0x\n", n)
+	} else if len(rep.Parallel)+len(rep.Partitioned) > 0 {
+		fmt.Println("scaling gate: skipped (GOMAXPROCS=1, rows flagged degenerate)")
 	}
 	return nil
 }

@@ -89,6 +89,7 @@ func TestDifferentialRun(t *testing.T) {
 		{Program: api.Program{Source: srcLoop, Level: api.LevelNone}, Entry: "f", Args: []int64{10}},
 		{Program: api.Program{Source: srcAdd, Level: api.LevelMedium}, Entry: "f", Args: []int64{3, 4}},
 		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Backend: api.BackendCompiled}, Entry: "f", Args: []int64{10}},
+		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Partitions: 3}, Entry: "f", Args: []int64{10}},
 	}
 	for i, rr := range cases {
 		want, err := ref.Do(context.Background(), serve.Request{Program: rr.Program, Entry: rr.Entry, Args: rr.Args})

@@ -40,12 +40,13 @@ type Option interface {
 }
 
 type config struct {
-	level    opt.Level
-	passes   *opt.Options
-	sim      dataflow.Config
-	trc      trace.Config
-	deadline time.Duration
-	backend  Backend
+	level      opt.Level
+	passes     *opt.Options
+	sim        dataflow.Config
+	trc        trace.Config
+	deadline   time.Duration
+	backend    Backend
+	partitions int
 }
 
 type optionFunc func(*config)
@@ -112,6 +113,22 @@ func WithBackend(b Backend) Option {
 	return optionFunc(func(c *config) { c.backend = b })
 }
 
+// WithPartitions splits each simulated graph into n event domains run
+// through the partitioned scheduler (see DESIGN.md "Partitioned
+// simulation"): per-domain event heaps on worker goroutines,
+// synchronized by conservative time windows that preserve the global
+// (time, seq) order — results are bit-identical to the sequential
+// engine for every n. Values 0 and 1 (the default) select the
+// sequential queue. The compiled backend ignores the setting (its
+// time-bucketed ring is already the fast path), as do observed runs
+// (RunTraced, RunProfiled); results are identical either way.
+func WithPartitions(n int) Option {
+	return optionFunc(func(c *config) { c.partitions = n })
+}
+
+// MaxPartitions is the largest accepted WithPartitions value.
+const MaxPartitions = 64
+
 // WithDeadline bounds every Run of the compiled program by a wall-clock
 // duration: a run past the deadline aborts with an ErrSim-classed error
 // wrapping dataflow.ErrCanceled. Zero (the default) means no wall-clock
@@ -143,6 +160,9 @@ type Compiled struct {
 	// Backend is the execution engine Run/RunCtx/RunWith/RunFaulted use
 	// (see WithBackend); RunTraced and RunProfiled always interpret.
 	Backend Backend
+	// Partitions is the event-domain count interpreter runs use (see
+	// WithPartitions); values below 2 mean the sequential queue.
+	Partitions int
 
 	// shared is the prebuilt per-graph structure table every run of this
 	// program reuses (built once, on first use, under sharedOnce).
@@ -153,6 +173,11 @@ type Compiled struct {
 	// (built once, on first use, under compiledOnce).
 	compiledOnce sync.Once
 	compiledMod  *codegen.Module
+
+	// part is the domain assignment partitioned runs share (built once,
+	// on first use, under partOnce).
+	partOnce sync.Once
+	part     *dataflow.Partition
 }
 
 // sharedInfo returns the program's prebuilt simulation structures,
@@ -169,6 +194,26 @@ func (c *Compiled) compiledInfo() *codegen.Module {
 	return c.compiledMod
 }
 
+// partitionInfo returns the program's domain assignment, building it on
+// first use. Only called when Partitions > 1, which CompileSource has
+// validated to be in range.
+func (c *Compiled) partitionInfo() *dataflow.Partition {
+	c.partOnce.Do(func() {
+		pt, err := dataflow.BuildPartition(c.Program, c.Partitions, nil)
+		if err != nil {
+			panic(err) // unreachable: Partitions validated at compile time
+		}
+		c.part = pt
+	})
+	return c.part
+}
+
+// usePartitions reports whether a plain (unobserved) run should go
+// through the partitioned scheduler.
+func (c *Compiled) usePartitions() bool {
+	return c.Partitions > 1 && c.Backend != BackendCompiled
+}
+
 // CompileSource parses, checks, builds, and optimizes a cMinor program.
 // Every failure — including an invalid configuration option or a panic in
 // a compiler pass — comes back classified under ErrCompile (or ErrInternal
@@ -181,6 +226,10 @@ func CompileSource(src string, opts ...Option) (cp *Compiled, err error) {
 	}
 	if err := cfg.sim.Validate(); err != nil {
 		return nil, classify(ErrCompile, err)
+	}
+	if cfg.partitions < 0 || cfg.partitions > MaxPartitions {
+		return nil, classify(ErrCompile,
+			fmt.Errorf("core: WithPartitions(%d) out of range [0, %d]", cfg.partitions, MaxPartitions))
 	}
 	prog, err := cminor.Parse(src)
 	if err != nil {
@@ -203,7 +252,7 @@ func CompileSource(src string, opts ...Option) (cp *Compiled, err error) {
 	// Normalize once here: the Config this Compiled reports is the Config
 	// its runs actually execute under, zero fields already defaulted.
 	return &Compiled{Program: p, Source: prog, Level: cfg.level, Sim: cfg.sim.Normalized(),
-		Trace: cfg.trc, Deadline: cfg.deadline, Backend: cfg.backend}, nil
+		Trace: cfg.trc, Deadline: cfg.deadline, Backend: cfg.backend, Partitions: cfg.partitions}, nil
 }
 
 // SimConfig configures a spatial execution.
@@ -260,9 +309,12 @@ func (c *Compiled) RunCtx(ctx context.Context, entry string, args []int64) (res 
 	defer guard(&err)
 	ctx, cancel := c.deadlineCtx(ctx)
 	defer cancel()
-	if c.Backend == BackendCompiled {
+	switch {
+	case c.Backend == BackendCompiled:
 		res, err = c.compiledInfo().RunCtx(ctx, entry, args, c.simConfig())
-	} else {
+	case c.usePartitions():
+		res, err = c.sharedInfo().RunPartitioned(ctx, entry, args, c.simConfig(), c.partitionInfo())
+	default:
 		res, err = c.sharedInfo().RunCtx(ctx, entry, args, c.simConfig())
 	}
 	return res, classify(ErrSim, err)
@@ -276,9 +328,12 @@ func (c *Compiled) RunFaulted(ctx context.Context, entry string, args []int64, i
 	defer guard(&err)
 	ctx, cancel := c.deadlineCtx(ctx)
 	defer cancel()
-	if c.Backend == BackendCompiled {
+	switch {
+	case c.Backend == BackendCompiled:
 		res, err = c.compiledInfo().RunFaulted(ctx, entry, args, c.simConfig(), inj)
-	} else {
+	case c.usePartitions():
+		res, err = c.sharedInfo().RunPartitionedFaulted(ctx, entry, args, c.simConfig(), c.partitionInfo(), inj)
+	default:
 		res, err = c.sharedInfo().RunFaulted(ctx, entry, args, c.simConfig(), inj)
 	}
 	return res, classify(ErrSim, err)
@@ -289,9 +344,12 @@ func (c *Compiled) RunWith(entry string, args []int64, cfg SimConfig) (res *SimR
 	defer guard(&err)
 	ctx, cancel := c.deadlineCtx(nil)
 	defer cancel()
-	if c.Backend == BackendCompiled {
+	switch {
+	case c.Backend == BackendCompiled:
 		res, err = c.compiledInfo().RunCtx(ctx, entry, args, cfg)
-	} else {
+	case c.usePartitions():
+		res, err = c.sharedInfo().RunPartitioned(ctx, entry, args, cfg, c.partitionInfo())
+	default:
 		res, err = c.sharedInfo().RunCtx(ctx, entry, args, cfg)
 	}
 	return res, classify(ErrSim, err)

@@ -1,0 +1,173 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"spatial/internal/pegasus"
+)
+
+// Partition assigns every node of every graph of one program to an event
+// domain for partitioned execution (see DESIGN.md "Partitioned
+// simulation"). A Partition is immutable after Build and may be shared by
+// any number of concurrent runs of the program, exactly like Shared.
+//
+// Domain assignment is a performance decision, never a correctness one:
+// the partitioned scheduler preserves the sequential engine's global
+// (time, seq) pop order for any assignment, so a bad split costs speed,
+// not bit-identity.
+type Partition struct {
+	prog *pegasus.Program
+	n    int
+	// window is the conservative synchronization window width in cycles
+	// (a power of two). Events less than one window ahead of current time
+	// stay on the sequencer's O(1) bucket ring; events further out are
+	// sharded to per-domain heaps and drained back a window at a time.
+	window int64
+	// doms[graph name][node ID] is the node's domain in [0, n).
+	doms map[string][]int16
+}
+
+// defaultWindow is the synchronization window width when the caller does
+// not override it. Op latencies are 0–20 cycles, so 32 keeps almost all
+// perfect-memory traffic on the ring while realistic memory latencies
+// (and injected delays) spill to the domain heaps.
+const defaultWindow = 32
+
+// maxPartitions bounds a partition request; beyond per-core domains the
+// barrier traffic only adds overhead.
+const maxPartitions = 64
+
+// BuildPartition splits every graph of p into n event domains by
+// hyperblock: hyperblocks coupled by a zero-latency cross edge are merged
+// (their events can be due in the same cycle, so splitting them buys
+// nothing), then merged groups are packed into n contiguous, weight-
+// balanced domains in hyperblock order. weights, when non-nil, supplies
+// dynamic per-node firing counts (from a profiled run) so hot loops
+// balance by observed work instead of static node count.
+func BuildPartition(p *pegasus.Program, n int, weights *Profile) (*Partition, error) {
+	if n < 1 || n > maxPartitions {
+		return nil, fmt.Errorf("dataflow: partition count %d out of range [1, %d]", n, maxPartitions)
+	}
+	pt := &Partition{prog: p, n: n, window: defaultWindow, doms: make(map[string][]int16, len(p.Funcs))}
+	for name, g := range p.Funcs {
+		pt.doms[name] = partitionGraph(g, n, weights)
+	}
+	return pt, nil
+}
+
+// Domains returns the number of event domains.
+func (pt *Partition) Domains() int { return pt.n }
+
+// Window returns the synchronization window width in cycles.
+func (pt *Partition) Window() int64 { return pt.window }
+
+// SetWindow overrides the synchronization window width (rounded up to a
+// power of two, minimum 2). Results are bit-identical for every width;
+// tests use small windows to force cross-window traffic on short runs.
+func (pt *Partition) SetWindow(w int64) {
+	if w < 2 {
+		w = 2
+	}
+	p2 := int64(2)
+	for p2 < w {
+		p2 <<= 1
+	}
+	pt.window = p2
+}
+
+// domainOf returns g's node→domain table (nil when g is unknown, which
+// routes everything to domain 0).
+func (pt *Partition) domainOf(g *pegasus.Graph) []int16 { return pt.doms[g.Name] }
+
+// partitionGraph assigns g's hyperblocks to n domains.
+func partitionGraph(g *pegasus.Graph, n int, weights *Profile) []int16 {
+	nh := len(g.Hypers)
+	if nh == 0 {
+		return make([]int16, g.MaxID())
+	}
+	// Union-find over hyperblocks.
+	uf := make([]int, nh)
+	for i := range uf {
+		uf[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			uf[rb] = ra
+		}
+	}
+	// Merge hyperblocks joined by a zero-latency cross edge: the
+	// producer's output is due in the firing cycle itself, so consumer
+	// and producer must share a domain to keep same-cycle couplings
+	// local. Weight each hyperblock while walking.
+	w := make([]int64, nh)
+	for _, nd := range g.Nodes {
+		if nd.Dead {
+			continue
+		}
+		wt := int64(1)
+		if weights != nil {
+			if f := weights.Fires(nd); f > 0 {
+				wt = f
+			}
+		}
+		w[nd.Hyper] += wt
+		if opLatency(nd) == 0 {
+			src := nd
+			src.EachInput(func(r *pegasus.Ref, cls pegasus.Port, idx int) {
+				if r.Valid() && r.N.Hyper != src.Hyper {
+					union(r.N.Hyper, src.Hyper)
+				}
+			})
+		}
+	}
+	// Collapse groups to their roots, preserving hyperblock order
+	// (hyperblock IDs are reverse postorder, so contiguous splits track
+	// control-flow locality).
+	groupW := make([]int64, nh)
+	var total int64
+	for h := 0; h < nh; h++ {
+		groupW[find(h)] += w[h]
+		total += w[h]
+	}
+	// Greedy contiguous split: walk the root groups in order, starting a
+	// new domain when the running weight passes an equal share.
+	dom := make([]int16, nh)
+	cur, acc := int16(0), int64(0)
+	share := (total + int64(n) - 1) / int64(n)
+	if share < 1 {
+		share = 1
+	}
+	for h := 0; h < nh; h++ {
+		if find(h) != h {
+			continue
+		}
+		if acc >= share && int(cur) < n-1 {
+			cur++
+			acc = 0
+		}
+		dom[h] = cur
+		acc += groupW[h]
+	}
+	for h := 0; h < nh; h++ {
+		dom[h] = dom[find(h)]
+	}
+	out := make([]int16, g.MaxID())
+	for _, nd := range g.Nodes {
+		if !nd.Dead {
+			out[nd.ID] = dom[nd.Hyper]
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package dataflow
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"spatial/internal/faultsim"
+	"spatial/internal/memsys"
+	"spatial/internal/opt"
+	"spatial/internal/pegasus"
+)
+
+// partSrc exercises loops, a token generator, recursion (frame
+// recycling), and memory traffic across several hyperblocks — the same
+// shape TestDeterministicReplay uses.
+const partSrc = `
+int a[40];
+int rec(int n) {
+  int pad[8];
+  pad[0] = n * 3;
+  if (n <= 0) return pad[0];
+  return pad[0] + rec(n - 1);
+}
+int f(void) {
+  int i;
+  for (i = 0; i < 40; i++) a[i] = i;
+  for (i = 0; i < 37; i++) a[i] = a[i+3] * 2;
+  int s = rec(5);
+  for (i = 0; i < 40; i++) s = s * 5 + a[i];
+  return s & 0xffffff;
+}`
+
+func recordPartEvents(t *testing.T, p *pegasus.Program, entry string, cfg Config, part *Partition) ([]evRecord, *Result) {
+	t.Helper()
+	var evs []evRecord
+	res, _, err := runMachine(p, entry, nil, cfg, runOpts{
+		part: part,
+		evHook: func(time, seq int64, act int, node *pegasus.Node) {
+			evs = append(evs, evRecord{time, seq, act, node.ID})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs, res
+}
+
+// TestPartitionedReplaysSequential is the engine-level bit-identity
+// check: for several partition counts and window widths (small windows
+// force heavy cross-window domain traffic), the partitioned scheduler
+// must replay the sequential engine's exact event stream — every
+// (time, seq, activation, node) in the same order — and produce an
+// identical Result, on perfect and realistic memory.
+func TestPartitionedReplaysSequential(t *testing.T) {
+	p := optProgram(t, partSrc, opt.Full)
+	for _, mem := range []struct {
+		name string
+		cfg  memsys.Config
+	}{
+		{"perfect", memsys.PerfectConfig()},
+		{"paper", memsys.PaperConfig(2)},
+	} {
+		cfg := DefaultConfig()
+		cfg.Mem = mem.cfg
+		want, wantRes := func() ([]evRecord, *Result) {
+			var evs []evRecord
+			res, _, err := runMachine(p, "f", nil, cfg, runOpts{
+				evHook: func(time, seq int64, act int, node *pegasus.Node) {
+					evs = append(evs, evRecord{time, seq, act, node.ID})
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return evs, res
+		}()
+		for _, n := range []int{1, 2, 3, 4, 8} {
+			for _, w := range []int64{2, 8, defaultWindow} {
+				part, err := BuildPartition(p, n, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				part.SetWindow(w)
+				got, gotRes := recordPartEvents(t, p, "f", cfg, part)
+				if *gotRes != *wantRes {
+					t.Fatalf("%s n=%d w=%d: Result diverged:\nseq:  %+v\npart: %+v",
+						mem.name, n, w, *wantRes, *gotRes)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s n=%d w=%d: event counts differ: %d vs %d",
+						mem.name, n, w, len(want), len(got))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s n=%d w=%d: event %d differs: %+v vs %+v",
+							mem.name, n, w, i, want[i], got[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedFaulted pins that fault injection fires identically
+// under partitioning: injected delays push events far past the window
+// fence (maxDelay 500 vs window 8), exercising the domain heaps and the
+// starvation fast-forward, and the Result must still match a sequential
+// faulted run with an identically-seeded injector.
+func TestPartitionedFaulted(t *testing.T) {
+	p := optProgram(t, partSrc, opt.Full)
+	sh := Prebuild(p)
+	part, err := BuildPartition(p, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.SetWindow(8)
+	for seed := int64(1); seed <= 5; seed++ {
+		want, errW := sh.RunFaulted(nil, "f", nil, DefaultConfig(), faultsim.NewJitter(seed, 0.05, 500))
+		got, errG := sh.RunPartitionedFaulted(nil, "f", nil, DefaultConfig(), part, faultsim.NewJitter(seed, 0.05, 500))
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("seed %d: error presence diverged: %v vs %v", seed, errW, errG)
+		}
+		if errW != nil {
+			if errW.Error() != errG.Error() {
+				t.Fatalf("seed %d: error text diverged:\n%v\n%v", seed, errW, errG)
+			}
+			continue
+		}
+		if *want != *got {
+			t.Fatalf("seed %d: Result diverged:\nseq:  %+v\npart: %+v", seed, *want, *got)
+		}
+	}
+}
+
+// TestPartitionedAbortText pins that abort paths (here: livelock) report
+// the same typed error with the same text — stuck reports read machine
+// state, never the queue, so partitioning must not change a word.
+func TestPartitionedAbortText(t *testing.T) {
+	p := optProgram(t, partSrc, opt.Full)
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 50 // far too few for partSrc: aborts mid-flight
+	_, errW := Run(p, "f", nil, cfg)
+	part, err := BuildPartition(p, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.SetWindow(2)
+	_, errG := RunPartitioned(nil, p, "f", nil, cfg, part)
+	if errW == nil || errG == nil {
+		t.Fatalf("expected livelock aborts, got %v / %v", errW, errG)
+	}
+	if errW.Error() != errG.Error() {
+		t.Fatalf("abort text diverged:\n%v\n%v", errW, errG)
+	}
+}
+
+// TestPartitionedNoGoroutineLeak runs many partitioned simulations —
+// clean completions and aborts — and requires the goroutine count to
+// return to baseline: every run-loop exit path must stop its workers.
+func TestPartitionedNoGoroutineLeak(t *testing.T) {
+	p := optProgram(t, partSrc, opt.Full)
+	sh := Prebuild(p)
+	part, err := BuildPartition(p, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.SetWindow(2)
+	before := runtime.NumGoroutine()
+	abortCfg := DefaultConfig()
+	abortCfg.MaxCycles = 50
+	for i := 0; i < 20; i++ {
+		if _, err := sh.RunPartitioned(nil, "f", nil, DefaultConfig(), part); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := runMachine(p, "f", nil, abortCfg, runOpts{shared: sh, part: part}); err == nil {
+			t.Fatal("expected abort")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+// TestBuildPartitionValidation covers the argument checks.
+func TestBuildPartitionValidation(t *testing.T) {
+	p := optProgram(t, partSrc, opt.Full)
+	if _, err := BuildPartition(p, 0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BuildPartition(p, maxPartitions+1, nil); err == nil {
+		t.Error("n over limit accepted")
+	}
+	part, err := BuildPartition(p, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := optProgram(t, "int f(void) { return 7; }", opt.Full)
+	if _, err := RunPartitioned(nil, other, "f", nil, DefaultConfig(), part); err == nil ||
+		!strings.Contains(err.Error(), "different program") {
+		t.Errorf("cross-program partition accepted: %v", err)
+	}
+	// Profiled weights steer the split without changing results.
+	res, prof, err := RunProfiled(p, "f", nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wpart, err := BuildPartition(p, 4, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := RunPartitioned(nil, p, "f", nil, DefaultConfig(), wpart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *wres != *res {
+		t.Fatalf("weighted partition diverged: %+v vs %+v", *res, *wres)
+	}
+}

@@ -1,0 +1,336 @@
+package dataflow
+
+import (
+	"math"
+	"sync"
+)
+
+// This file is the partitioned event scheduler (DESIGN.md "Partitioned
+// simulation"). The machine's semantic loop is untouched: one sequencer
+// (the run loop's goroutine) still processes every event in the exact
+// global (time, seq) order, so results are bit-identical to the
+// sequential engine by construction. What is partitioned is the queue
+// itself:
+//
+//   - Events due inside the current synchronization window live on an
+//     O(1) bucket ring owned by the sequencer (most events, since op
+//     latencies are 0–20 cycles).
+//   - Events due at or past the window fence are sharded by their
+//     consumer node's domain to per-domain worker goroutines, each
+//     owning its own 4-ary heap, and drained back one window at a time.
+//
+// The protocol is conservative and pipelined: exactly one drain request
+// [covered, fence) is outstanding at all times, so while the sequencer
+// consumes window k the workers sort window k+1. Cross-thread traffic is
+// batched (one message per domain per window in each direction) over
+// bounded channels, with slice buffers recycled through free lists so
+// steady state allocates nothing.
+//
+// Ordering invariants (why pop order is the global (time, seq) order):
+//
+//   - Every push has e.time >= m.now: emit schedules at now+latency with
+//     latency >= 0, delivery-order ratchets and injected delays only
+//     raise times, and memory completions are never in the past.
+//   - A bucket's early segment (events drained from domains) is
+//     seq-sorted: each domain's drain response is heap-pop-ordered and
+//     the sequencer k-way merges responses by (time, seq).
+//   - A bucket's late segment (direct pushes below the fence) is
+//     seq-sorted because seq is assigned by a monotonic counter at push.
+//   - Every early seq precedes every late seq for the same bucket: an
+//     early event was routed to a domain because its time was >= the
+//     fence when pushed; a late event's time was < the fence. The fence
+//     only advances, and it advances past a bucket's time only at the
+//     flush+drain transition — so all domain-routed pushes for that
+//     bucket happen strictly before all direct pushes for it.
+//
+// The ring spans [cur, fence), at most 2 windows wide, and is sized 4
+// windows, so distinct live times always map to distinct buckets.
+type partSched struct {
+	part   *Partition
+	window int64
+	mask   int64 // ring size - 1 (ring size = 4 * window, a power of two)
+
+	buckets   []psBucket
+	ringCount int // events currently in ring buckets
+	total     int // all pending events: ring + pending batches + domains
+
+	// cur is the next time to consume; covered is the exclusive bound of
+	// merged (consumable) time; fence is the push-routing boundary and
+	// the exclusive bound of the outstanding drain request [covered,
+	// fence). Invariants outside advance(): cur <= covered <= fence,
+	// fence - cur <= 2*window.
+	cur, covered, fence int64
+
+	// pending[d] buffers far pushes for domain d until the next flush.
+	pending [][]event
+	doms    []psDomain
+
+	// resp/respPos are merge scratch (per-domain response cursors).
+	resp    [][]event
+	respPos []int
+
+	// batchFree/respFree recycle slice buffers across windows.
+	batchFree chan []event
+	respFree  chan []event
+
+	wg sync.WaitGroup
+}
+
+// psBucket is one ring slot: all events due at one time, split into the
+// domain-drained segment (early) and direct pushes (late).
+type psBucket struct {
+	early, late       []event
+	earlyPos, latePos int
+}
+
+// psMsg is the sequencer→worker message for one window: insert batch
+// (may be nil), then drain everything below hi and respond.
+type psMsg struct {
+	batch []event
+	hi    int64
+}
+
+// psResp is the worker's answer: the drained events in (time, seq)
+// order, plus the heap top after draining (MaxInt64 when empty) so the
+// sequencer can fast-forward across event-free gaps.
+type psResp struct {
+	events  []event
+	minNext int64
+}
+
+type psDomain struct {
+	in  chan psMsg
+	out chan psResp
+}
+
+func newPartSched(part *Partition) *partSched {
+	w := part.window
+	ring := 4 * w
+	n := part.n
+	s := &partSched{
+		part:      part,
+		window:    w,
+		mask:      ring - 1,
+		buckets:   make([]psBucket, ring),
+		pending:   make([][]event, n),
+		doms:      make([]psDomain, n),
+		resp:      make([][]event, n),
+		respPos:   make([]int, n),
+		batchFree: make(chan []event, 2*n),
+		respFree:  make(chan []event, 2*n),
+	}
+	for i := range s.doms {
+		s.doms[i].in = make(chan psMsg, 2)
+		s.doms[i].out = make(chan psResp, 1)
+		s.wg.Add(1)
+		go s.worker(&s.doms[i])
+	}
+	// Prime the pipeline: one drain request is outstanding from here on.
+	s.flushAndRequest()
+	return s
+}
+
+// stop shuts the workers down and waits for them to exit; safe on every
+// run-loop exit path (a worker never blocks sending its response, since
+// out is buffered for the single outstanding request).
+func (s *partSched) stop() {
+	for i := range s.doms {
+		close(s.doms[i].in)
+	}
+	s.wg.Wait()
+}
+
+// worker owns one domain's heap. It never dereferences an event's act or
+// node pointers — only (time, seq) — so it races with nothing the
+// sequencer does to activation state.
+func (s *partSched) worker(d *psDomain) {
+	defer s.wg.Done()
+	var q eventQueue
+	for msg := range d.in {
+		if msg.batch != nil {
+			for _, e := range msg.batch {
+				q.push(e)
+			}
+			s.putBatch(msg.batch)
+		}
+		out := s.getResp()
+		for q.len() > 0 && q.topTime() < msg.hi {
+			out = append(out, q.pop())
+		}
+		minNext := int64(math.MaxInt64)
+		if q.len() > 0 {
+			minNext = q.topTime()
+		}
+		d.out <- psResp{events: out, minNext: minNext}
+	}
+}
+
+// push routes one event: inside the fence onto the ring, past it into
+// the consumer domain's pending batch. Called only from the sequencer.
+func (s *partSched) push(e event) {
+	s.total++
+	if e.time < s.fence {
+		b := &s.buckets[e.time&s.mask]
+		b.late = append(b.late, e)
+		s.ringCount++
+		return
+	}
+	d := 0
+	if doms := e.act.doms; doms != nil {
+		d = int(doms[e.node.ID])
+	}
+	s.pending[d] = append(s.pending[d], e)
+}
+
+// next returns the globally next event by (time, seq). It must only be
+// called while total > 0, and then always returns an event.
+func (s *partSched) next() event {
+	for {
+		for s.cur < s.covered {
+			b := &s.buckets[s.cur&s.mask]
+			if b.earlyPos < len(b.early) {
+				e := b.early[b.earlyPos]
+				b.earlyPos++
+				s.ringCount--
+				s.total--
+				return e
+			}
+			if b.latePos < len(b.late) {
+				e := b.late[b.latePos]
+				b.latePos++
+				s.ringCount--
+				s.total--
+				return e
+			}
+			b.early = b.early[:0]
+			b.late = b.late[:0]
+			b.earlyPos, b.latePos = 0, 0
+			s.cur++
+		}
+		s.advance()
+	}
+}
+
+// advance moves the window forward: merge the outstanding drain
+// [covered, fence), then flush pending batches and request the next
+// window. When the ring is empty and nothing is buffered outside the
+// domains, the per-domain heap tops are an exact global minimum, so the
+// window jumps straight to the next event instead of crawling
+// fence-by-fence across gaps (memory latencies, injected delays).
+func (s *partSched) advance() {
+	minAll := s.mergeWindow()
+	s.covered = s.fence
+	if s.ringCount == 0 {
+		// Nothing below covered; skip the empty bucket walk.
+		s.cur = s.covered
+		if s.total > 0 && !s.pendingAny() && minAll > s.covered {
+			if minAll == math.MaxInt64 {
+				panic("dataflow: partitioned scheduler lost events (accounting bug)")
+			}
+			s.cur, s.covered = minAll, minAll
+		}
+	}
+	s.flushAndRequest()
+}
+
+func (s *partSched) pendingAny() bool {
+	for _, p := range s.pending {
+		if len(p) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeWindow receives every domain's response to the outstanding drain
+// and k-way merges them by (time, seq) into the ring's early segments.
+// Returns the minimum post-drain heap top across domains.
+func (s *partSched) mergeWindow() int64 {
+	nd := len(s.doms)
+	minAll := int64(math.MaxInt64)
+	for i := 0; i < nd; i++ {
+		r := <-s.doms[i].out
+		s.resp[i] = r.events
+		s.respPos[i] = 0
+		if r.minNext < minAll {
+			minAll = r.minNext
+		}
+	}
+	for {
+		best := -1
+		var bt, bs int64
+		for i := 0; i < nd; i++ {
+			p := s.respPos[i]
+			if p >= len(s.resp[i]) {
+				continue
+			}
+			e := &s.resp[i][p]
+			if best < 0 || e.time < bt || (e.time == bt && e.seq < bs) {
+				best, bt, bs = i, e.time, e.seq
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := s.resp[best][s.respPos[best]]
+		s.respPos[best]++
+		b := &s.buckets[e.time&s.mask]
+		b.early = append(b.early, e)
+		s.ringCount++
+	}
+	for i := 0; i < nd; i++ {
+		s.putResp(s.resp[i])
+		s.resp[i] = nil
+	}
+	return minAll
+}
+
+// flushAndRequest sends each domain its pending batch plus the next
+// drain request [covered, covered+window) in one message, advancing the
+// fence. The batch-then-drain order within the message is what makes a
+// drain response complete: every event routed to a domain before the
+// fence advanced is in its heap before the drain runs.
+func (s *partSched) flushAndRequest() {
+	hi := s.covered + s.window
+	for i := range s.doms {
+		var batch []event
+		if len(s.pending[i]) > 0 {
+			batch = s.pending[i]
+			s.pending[i] = s.getBatch()
+		}
+		s.doms[i].in <- psMsg{batch: batch, hi: hi}
+	}
+	s.fence = hi
+}
+
+func (s *partSched) getBatch() []event {
+	select {
+	case b := <-s.batchFree:
+		return b
+	default:
+		return make([]event, 0, 64)
+	}
+}
+
+func (s *partSched) putBatch(b []event) {
+	select {
+	case s.batchFree <- b[:0]:
+	default:
+	}
+}
+
+func (s *partSched) getResp() []event {
+	select {
+	case b := <-s.respFree:
+		return b
+	default:
+		return make([]event, 0, 64)
+	}
+}
+
+func (s *partSched) putResp(b []event) {
+	select {
+	case s.respFree <- b[:0]:
+	default:
+	}
+}

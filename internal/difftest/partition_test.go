@@ -1,0 +1,101 @@
+package difftest
+
+// Partitioned-vs-sequential bit-identity over the benchmark set. Check
+// already compares a partitioned run at every level (so the fuzzer and
+// the crasher corpus sweep it continuously); these tests additionally
+// drive the engine-level battery with small synchronization windows —
+// which force heavy cross-window domain traffic that the facade's
+// default window rarely produces on clean schedules — across all four
+// optimization levels, clean and faulted.
+
+import (
+	"testing"
+
+	"spatial/internal/core"
+	"spatial/internal/dataflow"
+	"spatial/internal/faultsim"
+	"spatial/internal/harness"
+	"spatial/internal/workloads"
+)
+
+func TestPartitionedIdentityBenchSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-set sweep")
+	}
+	for _, name := range harness.BenchSet {
+		w := workloads.ByName(name)
+		for _, lvl := range Levels {
+			cp, err := core.CompileSource(w.Source, core.WithLevel(lvl))
+			if err != nil {
+				t.Fatalf("%s O%d: %v", name, lvl, err)
+			}
+			sh := dataflow.Prebuild(cp.Program)
+			cfg := cp.Sim
+			want, err := sh.RunCtx(nil, Entry, nil, cfg)
+			if err != nil {
+				t.Fatalf("%s O%d: sequential: %v", name, lvl, err)
+			}
+			for _, n := range []int{2, 4} {
+				part, err := dataflow.BuildPartition(cp.Program, n, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				part.SetWindow(4)
+				got, err := sh.RunPartitioned(nil, Entry, nil, cfg, part)
+				if err != nil {
+					t.Fatalf("%s O%d n=%d: partitioned: %v", name, lvl, n, err)
+				}
+				if *got != *want {
+					t.Errorf("%s O%d n=%d: PARTITION DIVERGENCE:\n sequential  %+v\n partitioned %+v",
+						name, lvl, n, *want, *got)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionedFaultedBenchSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-set sweep")
+	}
+	for _, name := range harness.BenchSet {
+		w := workloads.ByName(name)
+		cp, err := core.CompileSource(w.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sh := dataflow.Prebuild(cp.Program)
+		cfg := cp.Sim
+		part, err := dataflow.BuildPartition(cp.Program, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part.SetWindow(8)
+		// Injected delays up to 300 cycles leap far past the 8-cycle
+		// window, so faulted events route through the domain heaps and
+		// the starvation fast-forward; the injectors must still fire
+		// identically and the outcome must not move a bit.
+		for seed := int64(1); seed <= 3; seed++ {
+			injS := faultsim.NewJitter(seed, 0.02, 300)
+			want, errW := sh.RunFaulted(nil, Entry, nil, cfg, injS)
+			injP := faultsim.NewJitter(seed, 0.02, 300)
+			got, errG := sh.RunPartitionedFaulted(nil, Entry, nil, cfg, part, injP)
+			if (errW == nil) != (errG == nil) {
+				t.Fatalf("%s seed %d: PARTITION DIVERGENCE: sequential err=%v, partitioned err=%v", name, seed, errW, errG)
+			}
+			if errW != nil {
+				if errW.Error() != errG.Error() {
+					t.Fatalf("%s seed %d: PARTITION DIVERGENCE on error:\n%v\n%v", name, seed, errW, errG)
+				}
+				continue
+			}
+			if *want != *got {
+				t.Errorf("%s seed %d: PARTITION DIVERGENCE:\n sequential  %+v\n partitioned %+v", name, seed, *want, *got)
+			}
+			if len(injS.Triggered()) != len(injP.Triggered()) {
+				t.Errorf("%s seed %d: %d faults triggered sequential, %d partitioned",
+					name, seed, len(injS.Triggered()), len(injP.Triggered()))
+			}
+		}
+	}
+}

@@ -66,13 +66,14 @@ type BenchRow struct {
 // read in context — a scaling curve flattens at the physical core
 // count, not at the worker count.
 type BenchReport struct {
-	GoVersion string        `json:"go_version"`
-	CPUs      int           `json:"cpus"`
-	BenchTime string        `json:"bench_time"`
-	Rows      []BenchRow    `json:"rows"`
-	Parallel  []ParallelRow `json:"parallel,omitempty"`
-	Load      []LoadRow     `json:"load,omitempty"`
-	Chaos     []ChaosRow    `json:"chaos,omitempty"`
+	GoVersion   string           `json:"go_version"`
+	CPUs        int              `json:"cpus"`
+	BenchTime   string           `json:"bench_time"`
+	Rows        []BenchRow       `json:"rows"`
+	Parallel    []ParallelRow    `json:"parallel,omitempty"`
+	Partitioned []PartitionedRow `json:"partitioned,omitempty"`
+	Load        []LoadRow        `json:"load,omitempty"`
+	Chaos       []ChaosRow       `json:"chaos,omitempty"`
 }
 
 // Bench measures simulator throughput for the named workloads at every
@@ -229,6 +230,10 @@ func (r *BenchReport) Benchstat() string {
 		fmt.Fprintf(&b, "BenchmarkParallel/%s/W%d %d %.0f ns/op %.1f ns/event %.2f runs/sec %.2f speedup\n",
 			row.Workload, row.Workers, row.Runs, 1e9/row.RunsPerSec, row.NsPerEvent, row.RunsPerSec, row.Speedup)
 	}
+	for _, row := range r.Partitioned {
+		fmt.Fprintf(&b, "BenchmarkPartitioned/%s/P%d %d %.0f ns/op %.1f ns/event %.4f allocs/event %.2f speedup\n",
+			row.Workload, row.Partitions, row.Runs, row.NsPerRun, row.NsPerEvent, row.AllocsPerEv, row.Speedup)
+	}
 	return b.String()
 }
 
@@ -254,6 +259,10 @@ func FormatBench(r *BenchReport) string {
 	if len(r.Parallel) > 0 {
 		b.WriteString("\n")
 		b.WriteString(FormatParallel(r.CPUs, r.Parallel))
+	}
+	if len(r.Partitioned) > 0 {
+		b.WriteString("\n")
+		b.WriteString(FormatPartitioned(r.CPUs, r.Partitioned))
 	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,11 @@ type ParallelRow struct {
 	// Speedup is RunsPerSec relative to the 1-worker row of the same
 	// workload (1.0 for the 1-worker row itself).
 	Speedup float64 `json:"speedup_vs_1w"`
+	// Degenerate marks multi-worker rows measured with GOMAXPROCS=1:
+	// the streams time-slice one core, so Speedup hovers around 1.0 by
+	// construction and says nothing about scaling. Consumers (the CI
+	// smoke gate included) must not assert speedups on flagged rows.
+	Degenerate bool `json:"degenerate,omitempty"`
 }
 
 // BenchParallel measures batch-simulation scaling for the named
@@ -76,6 +82,7 @@ func BenchParallel(names []string, workers []int, minTime time.Duration) ([]Para
 				base = row.RunsPerSec
 			}
 			row.Speedup = row.RunsPerSec / base
+			row.Degenerate = nw > 1 && runtime.GOMAXPROCS(0) < 2
 			rows = append(rows, row)
 		}
 	}

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"spatial/internal/dataflow"
+	"spatial/internal/opt"
+	"spatial/internal/pegasus"
+	"spatial/internal/workloads"
+)
+
+// BenchPartitions is the domain-count sweep for the intra-run
+// partitioned rows. Unlike the batch-parallel curve (many independent
+// runs), these rows parallelize a SINGLE simulation by sharding its
+// event queue into per-hyperblock domains.
+var BenchPartitions = []int{1, 2, 4}
+
+// PartitionedRow is one (workload, partitions) measurement of
+// single-run simulation throughput with the event queue partitioned
+// into concurrent domains. The partitions=1 row runs the plain
+// sequential engine and anchors Speedup — the comparison the paper's
+// scaling claim actually needs is "partitioned vs the engine you would
+// otherwise use", not "N domains vs 1 domain paying scheduler tax".
+// Value/Cycles/Events must be bit-identical across every row of a
+// workload (the partitioned engine replays the sequential event order
+// exactly), so these rows double as a determinism regression gate.
+type PartitionedRow struct {
+	Workload   string `json:"workload"`
+	Level      int    `json:"level"`
+	Partitions int    `json:"partitions"`
+
+	Value  int64 `json:"value"`
+	Cycles int64 `json:"cycles"`
+	Events int64 `json:"events"`
+
+	Runs        int     `json:"runs"`
+	NsPerRun    float64 `json:"ns_per_run"`
+	NsPerEvent  float64 `json:"ns_per_event"`
+	AllocsPerEv float64 `json:"allocs_per_event"`
+	// Speedup is this row's ns/event advantage over the sequential
+	// (partitions=1) row of the same workload measured in the same
+	// sweep (1.0 for the sequential row itself).
+	Speedup float64 `json:"speedup_vs_seq"`
+	// Degenerate marks multi-domain rows measured with GOMAXPROCS=1:
+	// the domain workers time-slice one core and only the barrier
+	// overhead remains, so Speedup ≤ 1.0 by construction. Consumers
+	// (the CI smoke gate included) must not assert speedups on flagged
+	// rows.
+	Degenerate bool `json:"degenerate,omitempty"`
+}
+
+// BenchPartitioned measures intra-run partitioned-simulation scaling
+// for the named workloads at opt.Full across the given domain counts.
+// Each workload is compiled once; the partitions=1 row runs the
+// sequential engine and every partitioned run must reproduce its
+// Result bit-identically or the sweep aborts — a partitioned engine
+// that drifts semantically has no business in a perf baseline.
+func BenchPartitioned(names []string, parts []int, minTime time.Duration) ([]PartitionedRow, error) {
+	var rows []PartitionedRow
+	for _, name := range names {
+		w := workloads.ByName(name)
+		if w == nil {
+			return nil, fmt.Errorf("bench: unknown workload %q", name)
+		}
+		p, err := compileWorkload(w, opt.Full, nil)
+		if err != nil {
+			return nil, err
+		}
+		sh := dataflow.Prebuild(p)
+		cfg := dataflow.DefaultConfig()
+		ref, err := sh.Run(w.Entry, nil, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+
+		seqNs := 0.0
+		for _, n := range parts {
+			row, err := benchPartitionedOne(w, p, sh, cfg, ref, n, minTime)
+			if err != nil {
+				return nil, err
+			}
+			if seqNs == 0 {
+				seqNs = row.NsPerEvent
+			}
+			row.Speedup = seqNs / row.NsPerEvent
+			row.Degenerate = n > 1 && runtime.GOMAXPROCS(0) < 2
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// benchPartitionedOne times one point of the scaling curve: repeated
+// full simulations with n event domains (n ≤ 1 means the sequential
+// engine) until minTime elapses, every result checked against the
+// sequential reference.
+func benchPartitionedOne(w *workloads.Workload, p *pegasus.Program, sh *dataflow.Shared, cfg dataflow.Config, ref *dataflow.Result, n int, minTime time.Duration) (PartitionedRow, error) {
+	row := PartitionedRow{
+		Workload:   w.Name,
+		Level:      int(opt.Full),
+		Partitions: n,
+		Value:      ref.Value,
+		Cycles:     ref.Stats.Cycles,
+		Events:     ref.Stats.Events,
+	}
+
+	run := func() (*dataflow.Result, error) { return sh.Run(w.Entry, nil, cfg) }
+	if n > 1 {
+		part, err := dataflow.BuildPartition(p, n, nil)
+		if err != nil {
+			return row, fmt.Errorf("%s @%d partitions: %w", w.Name, n, err)
+		}
+		run = func() (*dataflow.Result, error) {
+			return sh.RunPartitioned(nil, w.Entry, nil, cfg, part)
+		}
+	}
+
+	// Warm-up run: verifies identity once before timing and fills the
+	// engine's pools so the timed loop measures the steady state.
+	res, err := run()
+	if err != nil {
+		return row, fmt.Errorf("%s @%d partitions: %w", w.Name, n, err)
+	}
+	if *res != *ref {
+		return row, fmt.Errorf("%s @%d partitions: diverged from sequential reference:\n sequential  %+v\n partitioned %+v",
+			w.Name, n, *ref, *res)
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var elapsed time.Duration
+	runs := 0
+	for elapsed < minTime || runs < 2 {
+		res, err := run()
+		if err != nil {
+			return row, fmt.Errorf("%s @%d partitions: %w", w.Name, n, err)
+		}
+		if *res != *ref {
+			return row, fmt.Errorf("%s @%d partitions: run %d diverged from sequential reference:\n sequential  %+v\n partitioned %+v",
+				w.Name, n, runs, *ref, *res)
+		}
+		runs++
+		elapsed = time.Since(start)
+	}
+	runtime.ReadMemStats(&ms1)
+
+	totalEvents := float64(row.Events) * float64(runs)
+	row.Runs = runs
+	row.NsPerRun = float64(elapsed.Nanoseconds()) / float64(runs)
+	row.NsPerEvent = float64(elapsed.Nanoseconds()) / totalEvents
+	row.AllocsPerEv = float64(ms1.Mallocs-ms0.Mallocs) / totalEvents
+	return row, nil
+}
+
+// FormatPartitioned renders the intra-run scaling curve as a table.
+func FormatPartitioned(cpus int, rows []PartitionedRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Partitioned single-run throughput (%d CPUs, event domains synchronized by time windows, bit-identity verified)\n", cpus)
+	fmt.Fprintf(&b, "%-14s %-10s %8s %10s %12s %10s\n",
+		"workload", "domains", "runs", "ns/event", "allocs/ev", "speedup")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-14s %-10d %8d %10.1f %12.4f %9.2fx", row.Workload, row.Partitions, row.Runs, row.NsPerEvent, row.AllocsPerEv, row.Speedup)
+		if row.Degenerate {
+			b.WriteString(" (degenerate: 1 CPU)")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBenchPartitioned(t *testing.T) {
+	parts := []int{1, 2}
+	rows, err := BenchPartitioned([]string{"adpcm_e"}, parts, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(parts) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(parts))
+	}
+	for i, row := range rows {
+		if row.Partitions != parts[i] {
+			t.Errorf("row %d: partitions = %d, want %d", i, row.Partitions, parts[i])
+		}
+		if row.Runs < 2 || row.NsPerEvent <= 0 {
+			t.Errorf("row %d: degenerate measurement %+v", i, row)
+		}
+		if row.Value != rows[0].Value || row.Cycles != rows[0].Cycles || row.Events != rows[0].Events {
+			t.Errorf("row %d: reference drifted across domain counts: %+v vs %+v", i, row, rows[0])
+		}
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Errorf("sequential-row speedup = %f, want 1.0", rows[0].Speedup)
+	}
+	if rows[0].Degenerate {
+		t.Error("sequential row flagged degenerate; only multi-domain rows qualify")
+	}
+	if onecpu := runtime.GOMAXPROCS(0) < 2; rows[1].Degenerate != onecpu {
+		t.Errorf("2-domain row degenerate = %v with GOMAXPROCS %d", rows[1].Degenerate, runtime.GOMAXPROCS(0))
+	}
+
+	rep := &BenchReport{GoVersion: "go-test", CPUs: 1, BenchTime: "30ms", Partitioned: rows}
+	out := FormatBench(rep)
+	if !strings.Contains(out, "Partitioned single-run throughput") || !strings.Contains(out, "adpcm_e") {
+		t.Errorf("FormatBench missing partitioned section:\n%s", out)
+	}
+	if !strings.Contains(rep.Benchstat(), "BenchmarkPartitioned/adpcm_e/P2") {
+		t.Errorf("Benchstat missing partitioned lines:\n%s", rep.Benchstat())
+	}
+}
+
+func TestBenchPartitionedUnknownWorkload(t *testing.T) {
+	if _, err := BenchPartitioned([]string{"no_such"}, []int{1}, time.Millisecond); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}

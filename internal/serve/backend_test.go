@@ -46,3 +46,39 @@ func TestBackendRoundTrip(t *testing.T) {
 		t.Error("unknown backend accepted")
 	}
 }
+
+// TestPartitionedRoundTrip runs the same program sequentially and with
+// partitioned execution through the engine: values and statistics must
+// be bit-identical, and the partitioned request must occupy its own
+// cache entry (a cached Compiled carries its domain assignment).
+func TestPartitionedRoundTrip(t *testing.T) {
+	e := newEngine(t, Config{Workers: 2, CacheEntries: 8})
+	defer e.Close()
+
+	seq := testReq(srcArr, api.LevelFull, "f", 3)
+	part := seq
+	part.Partitions = 4
+
+	rs, err := e.Do(context.Background(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := e.Do(context.Background(), part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Value != rp.Value || rs.Stats != rp.Stats {
+		t.Errorf("partitioned run diverged:\n sequential  value=%d stats=%+v\n partitioned value=%d stats=%+v",
+			rs.Value, rs.Stats, rp.Value, rp.Stats)
+	}
+	if rp.CacheHit {
+		t.Error("partitioned request hit the sequential cache entry")
+	}
+
+	// Out-of-range partition counts are compile-class errors.
+	bad := seq
+	bad.Partitions = -1
+	if _, err := e.Do(context.Background(), bad); err == nil {
+		t.Error("negative partitions accepted")
+	}
+}

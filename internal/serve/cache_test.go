@@ -70,6 +70,13 @@ func TestKeyNormalization(t *testing.T) {
 		t.Error(`Backend "" and Backend "interp" (the default) produced distinct keys`)
 	}
 
+	// Partitions 0 and 1 both mean the sequential queue: one key.
+	r = base
+	r.Partitions = 1
+	if k, _ := r.key(); k != k0 {
+		t.Error("Partitions 0 and 1 (both sequential) produced distinct keys")
+	}
+
 	// Genuinely different compile-time fields key differently.
 	distinct := []Request{
 		testReq(srcAdd, api.LevelFull, ""),
@@ -77,6 +84,8 @@ func TestKeyNormalization(t *testing.T) {
 		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Sim: &api.SimConfig{EdgeCap: 8}}},
 		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Passes: &api.Passes{ConstFold: true, CSE: true, DCE: true}}},
 		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Backend: api.BackendCompiled}},
+		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Partitions: 2}},
+		{Program: api.Program{Source: srcLoop, Level: api.LevelFull, Partitions: 4}},
 	}
 	seen := map[cacheKey]int{k0: -1}
 	for i, r := range distinct {
@@ -110,6 +119,16 @@ func TestKeyNormalization(t *testing.T) {
 	r.Backend = "jit"
 	if _, err := r.key(); err == nil {
 		t.Error("unknown backend keyed without error")
+	}
+	r = base
+	r.Partitions = -1
+	if _, err := r.key(); err == nil {
+		t.Error("negative partitions keyed without error")
+	}
+	r = base
+	r.Partitions = 1000
+	if _, err := r.key(); err == nil {
+		t.Error("out-of-range partitions keyed without error")
 	}
 }
 

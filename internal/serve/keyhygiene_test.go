@@ -39,11 +39,12 @@ func TestRequestFieldInventory(t *testing.T) {
 	// Every field of the embedded wire Program must be consumed by
 	// programKey (cache.go): source, level, passes, sim all are.
 	programKeyed := map[string]bool{
-		"Source":  true,
-		"Level":   true,
-		"Passes":  true,
-		"Sim":     true,
-		"Backend": true,
+		"Source":     true,
+		"Level":      true,
+		"Passes":     true,
+		"Sim":        true,
+		"Backend":    true,
+		"Partitions": true,
 	}
 	checkInventory(t, reflect.TypeOf(api.Program{}), "api.Program", programKeyed, nil)
 
