@@ -358,10 +358,17 @@ func benchAssertScaling(rep *harness.BenchReport) error {
 			return fmt.Errorf("bench: %s parallel speedup peaked at %.2fx on a multi-core machine", name, best)
 		}
 	}
+	// Each backend's partition curve gates independently: the interpreter
+	// and compiled VM pay different barrier costs, and a regression in
+	// one must not hide behind the other's best point.
 	bestPart := map[string]float64{}
 	for _, row := range rep.Partitioned {
-		if row.Partitions > 1 && !row.Degenerate && row.Speedup > bestPart[row.Workload] {
-			bestPart[row.Workload] = row.Speedup
+		key := row.Workload
+		if row.Backend != "" {
+			key = row.Workload + "/" + row.Backend
+		}
+		if row.Partitions > 1 && !row.Degenerate && row.Speedup > bestPart[key] {
+			bestPart[key] = row.Speedup
 		}
 	}
 	for name, best := range bestPart {

@@ -18,12 +18,13 @@
 // bit-identical results several times faster. -trace and -profile hook
 // the interpreter's machinery and reject -backend compiled.
 //
-// -partitions n shards the interpreter's event queue into n concurrent
-// per-hyperblock domains synchronized by conservative time windows; the
-// run stays bit-identical to the sequential engine (same result, cycles,
-// events, diagnoses). The compiled backend ignores the flag (it is
-// already faster than the partitioned interpreter), and -trace/-profile
-// reject it.
+// -partitions n shards the event queue into n concurrent per-hyperblock
+// domains synchronized by conservative time windows; the run stays
+// bit-identical to the sequential engine (same result, cycles, events,
+// diagnoses). Both backends honor the flag: the interpreter partitions
+// its event heap, and the compiled VM runs per-domain calendar rings
+// behind the same barrier protocol. -trace/-profile reject it (they are
+// observed single-run interpreter modes).
 //
 // -repeat runs the program m times and -parallel spreads the repeats
 // over n concurrent streams sharing one compilation; every repeat must

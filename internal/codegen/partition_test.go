@@ -1,0 +1,342 @@
+package codegen_test
+
+// Differential identity for the partitioned VM: a module compiled with
+// CompilePartitioned must replay the sequential VM — and therefore the
+// interpreter — bit for bit: same Result (every Stats field), same
+// (time, seq) event stream, same error text and triggered-fault logs
+// under injection, for any domain count and window width.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"spatial/internal/codegen"
+	"spatial/internal/core"
+	"spatial/internal/dataflow"
+	"spatial/internal/faultsim"
+	"spatial/internal/harness"
+	"spatial/internal/opt"
+	"spatial/internal/workloads"
+)
+
+// compilePartMod builds a partitioned module with n domains and the
+// given scheduler window (0: default).
+func compilePartMod(t *testing.T, p *core.Compiled, n int, window int64) *codegen.Module {
+	t.Helper()
+	part, err := dataflow.BuildPartition(p.Program, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if window > 0 {
+		part.SetWindow(window)
+	}
+	mod, err := codegen.CompilePartitioned(p.Program, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestPartitionedResultIdentity runs the full benchmark set at every
+// optimization level across several domain counts and requires results
+// bit-identical to both the interpreter and the sequential VM.
+func TestPartitionedResultIdentity(t *testing.T) {
+	for _, name := range harness.BenchSet {
+		w := workloads.ByName(name)
+		for _, lvl := range allLevels {
+			cp, err := core.CompileSource(w.Source, core.WithLevel(lvl))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := dataflow.Run(cp.Program, w.Entry, nil, dataflow.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := codegen.Compile(cp.Program).Run(w.Entry, nil, dataflow.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *seq != *want {
+				t.Fatalf("%s O%d: sequential VM diverged from interpreter", name, lvl)
+			}
+			for _, n := range []int{2, 3} {
+				mod := compilePartMod(t, cp, n, 0)
+				got, err := mod.Run(w.Entry, nil, dataflow.DefaultConfig())
+				if err != nil {
+					t.Fatalf("%s O%d P%d: %v", name, lvl, n, err)
+				}
+				if *got != *want {
+					t.Errorf("%s O%d P%d mismatch:\n got %+v\nwant %+v", name, lvl, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedWindowSweep forces heavy cross-window traffic with tiny
+// synchronization windows; identity must hold for every width.
+func TestPartitionedWindowSweep(t *testing.T) {
+	w := workloads.ByName("g721_e")
+	cp, err := core.CompileSource(w.Source, core.WithLevel(opt.Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dataflow.Run(cp.Program, w.Entry, nil, dataflow.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int64{2, 4, 64} {
+		mod := compilePartMod(t, cp, 3, window)
+		got, err := mod.Run(w.Entry, nil, dataflow.DefaultConfig())
+		if err != nil {
+			t.Fatalf("window %d: %v", window, err)
+		}
+		if *got != *want {
+			t.Errorf("window %d mismatch:\n got %+v\nwant %+v", window, got, want)
+		}
+	}
+}
+
+// TestPartitionedEventStreamIdentity compares the partitioned VM's full
+// event stream — every processed event's (time, seq, act, node) —
+// against the interpreter's. Partitioned events always carry their true
+// global sequence number, so this needs no spill-everything mode.
+func TestPartitionedEventStreamIdentity(t *testing.T) {
+	type ev struct {
+		time, seq int64
+		act, node int
+	}
+	for _, name := range []string{"adpcm_e", "g721_e"} {
+		w := workloads.ByName(name)
+		cp, err := core.CompileSource(w.Source, core.WithLevel(opt.Full))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []ev
+		if _, err := dataflow.RunEvents(cp.Program, w.Entry, nil, dataflow.DefaultConfig(),
+			func(time, seq int64, act, node int) {
+				want = append(want, ev{time, seq, act, node})
+			}); err != nil {
+			t.Fatal(err)
+		}
+		mod := compilePartMod(t, cp, 3, 0)
+		i, diverged := 0, false
+		_, err = mod.RunEvents(w.Entry, nil, dataflow.DefaultConfig(),
+			func(time, seq int64, act, node int) {
+				if diverged {
+					return
+				}
+				if i >= len(want) || want[i] != (ev{time, seq, act, node}) {
+					diverged = true
+					if i < len(want) {
+						t.Errorf("%s: event %d: got %+v want %+v", name, i, ev{time, seq, act, node}, want[i])
+					} else {
+						t.Errorf("%s: event %d past interpreter stream end: %+v", name, i, ev{time, seq, act, node})
+					}
+					return
+				}
+				i++
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diverged && i != len(want) {
+			t.Errorf("%s: partitioned stream ended at %d events, interpreter produced %d", name, i, len(want))
+		}
+	}
+}
+
+// TestPartitionedFaultedIdentity replays seeded fault plans through the
+// interpreter and the partitioned VM and requires identical outcomes:
+// identical Result, identical error text (including rendered stuck
+// reports), identical triggered-fault logs.
+func TestPartitionedFaultedIdentity(t *testing.T) {
+	w := workloads.ByName("adpcm_e")
+	cp, err := core.CompileSource(w.Source, core.WithLevel(opt.Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := compilePartMod(t, cp, 3, 0)
+	cfg := dataflow.DefaultConfig()
+	cfg.MaxCycles = 1 << 22
+	mk := []struct {
+		name string
+		inj  func() *faultsim.Injector
+	}{
+		{"jitter", func() *faultsim.Injector { return faultsim.NewJitter(42, 0.05, 8) }},
+		{"freeze", func() *faultsim.Injector {
+			return faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
+				{Op: faultsim.Freeze, Node: -1, Edge: -1, Nth: 17, Cycles: 40}}})
+		}},
+		{"drop-value", func() *faultsim.Injector {
+			return faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
+				{Op: faultsim.Drop, Node: -1, Edge: -1, Nth: 99}}})
+		}},
+		{"dup-value", func() *faultsim.Injector {
+			return faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
+				{Op: faultsim.Duplicate, Node: -1, Edge: -1, Nth: 55}}})
+		}},
+		{"mem-stretch", func() *faultsim.Injector {
+			return faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
+				{Op: faultsim.MemStretch, Node: -1, Edge: -1, Nth: 5, Cycles: 64}}})
+		}},
+		{"mem-fail", func() *faultsim.Injector {
+			return faultsim.New(faultsim.Plan{Faults: []faultsim.Fault{
+				{Op: faultsim.MemFail, Node: -1, Edge: -1, Nth: 3}}})
+		}},
+	}
+	for _, fr := range mk {
+		injI, injP := fr.inj(), fr.inj()
+		want, errI := dataflow.RunFaulted(context.Background(), cp.Program, w.Entry, nil, cfg, injI)
+		got, errP := mod.RunFaulted(context.Background(), w.Entry, nil, cfg, injP)
+		switch {
+		case (errI == nil) != (errP == nil):
+			t.Errorf("%s: outcome diverged: interp err=%v, partitioned err=%v", fr.name, errI, errP)
+		case errI != nil:
+			if errI.Error() != errP.Error() {
+				t.Errorf("%s: error text diverged:\n interp      %v\n partitioned %v", fr.name, errI, errP)
+			}
+		case *want != *got:
+			t.Errorf("%s: result diverged:\n got %+v\nwant %+v", fr.name, got, want)
+		}
+		ti, tp := injI.Triggered(), injP.Triggered()
+		if len(ti) != len(tp) {
+			t.Errorf("%s: triggered-fault logs diverged: interp %v, partitioned %v", fr.name, ti, tp)
+		}
+	}
+}
+
+// TestPartitionedErrorPaths exercises the scheduler's stop path on every
+// abnormal run exit — livelock, cancellation — and then reruns cleanly
+// on the same pooled VM, proving stop scrubs retained state and leaks no
+// worker goroutines.
+func TestPartitionedErrorPaths(t *testing.T) {
+	w := workloads.ByName("adpcm_e")
+	cp, err := core.CompileSource(w.Source, core.WithLevel(opt.Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := compilePartMod(t, cp, 3, 0)
+	cfg := dataflow.DefaultConfig()
+	want, err := mod.Run(w.Entry, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	// Livelock: identical error text on both engines.
+	tiny := cfg
+	tiny.MaxCycles = 64
+	_, errI := dataflow.Run(cp.Program, w.Entry, nil, tiny)
+	_, errP := mod.Run(w.Entry, nil, tiny)
+	if errI == nil || errP == nil {
+		t.Fatalf("expected livelock from both engines, got interp=%v partitioned=%v", errI, errP)
+	}
+	if errI.Error() != errP.Error() {
+		t.Errorf("livelock text diverged:\n interp      %v\n partitioned %v", errI, errP)
+	}
+
+	// Cancellation: pre-canceled context aborts the run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mod.RunCtx(ctx, w.Entry, nil, cfg); err == nil {
+		t.Error("expected cancellation error")
+	}
+
+	// The pooled VM must come back pristine after every aborted run.
+	for i := 0; i < 3; i++ {
+		got, err := mod.Run(w.Entry, nil, cfg)
+		if err != nil {
+			t.Fatalf("rerun %d after aborts: %v", i, err)
+		}
+		if *got != *want {
+			t.Fatalf("rerun %d after aborts diverged", i)
+		}
+	}
+
+	// Workers are per-run: none may outlive their run.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutine leak: %d before aborted runs, %d after", before, n)
+	}
+}
+
+// TestCompilePartitionedValidation pins the constructor's contract: the
+// partition must match the program, and a single-domain partition
+// degrades to a plain sequential module.
+func TestCompilePartitionedValidation(t *testing.T) {
+	w := workloads.ByName("adpcm_e")
+	cp, err := core.CompileSource(w.Source, core.WithLevel(opt.Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := core.CompileSource(w.Source, core.WithLevel(opt.Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := dataflow.BuildPartition(cp2.Program, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codegen.CompilePartitioned(cp.Program, part); err == nil {
+		t.Error("expected mismatched-program error")
+	}
+	if _, err := codegen.CompilePartitioned(cp.Program, nil); err == nil {
+		t.Error("expected nil-partition error")
+	}
+	one, err := dataflow.BuildPartition(cp.Program, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := codegen.CompilePartitioned(cp.Program, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Partitioned() != 1 {
+		t.Errorf("single-domain partition: Partitioned() = %d, want 1", mod.Partitioned())
+	}
+}
+
+// TestPartitionedSteadyStateAllocs is the sequential VM's allocation
+// gate applied to the partitioned scheduler: after a warm-up run has
+// sized the channels, worker queues, and message buffers, repeat runs
+// must stay allocation-free per event (budget 0.001 per domain worker —
+// the ISSUE's per-worker budget — and a fixed per-run handful for the
+// Result, stats, and worker goroutine starts).
+func TestPartitionedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting measures the race detector, not the VM")
+	}
+	const domains = 3
+	w := workloads.ByName("g721_e")
+	cp, err := core.CompileSource(w.Source, core.WithLevel(opt.Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := compilePartMod(t, cp, domains, 0)
+	cfg := dataflow.DefaultConfig()
+	var res *dataflow.Result
+	for i := 0; i < 3; i++ { // warm-up sizes pools, buffers, and goroutine stacks
+		if res, err = mod.Run(w.Entry, nil, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := float64(res.Stats.Events)
+	perRun := testing.AllocsPerRun(10, func() {
+		if _, err := mod.Run(w.Entry, nil, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	if perEvent := perRun / events; perEvent > 0.001*domains {
+		t.Errorf("steady-state allocations: %.1f allocs/run = %.4f allocs/event (budget %.3f)",
+			perRun, perEvent, 0.001*domains)
+	}
+	if perRun > 96 {
+		t.Errorf("steady-state allocations: %.1f allocs/run (budget 96 fixed)", perRun)
+	}
+}

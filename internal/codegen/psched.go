@@ -1,0 +1,524 @@
+package codegen
+
+// This file is the compiled backend's partitioned event scheduler: the
+// interpreter's partSched protocol (dataflow/psched.go) mapped onto the
+// VM's flat event structs. The run loop stays a single sequencer that
+// processes every event in the exact global (time, seq) order — results,
+// diagnoses, and event streams are bit-identical to the sequential VM
+// and the interpreter by construction — while per-domain worker
+// goroutines own insert and drain for events at or past the window
+// fence.
+//
+// Differences from the sequential VM's queue (vm.go):
+//
+//   - Every push carries its true global sequence number (the vm's seq
+//     counter, assigned at push exactly like the interpreter), so evHook
+//     runs need no spillAll mode here.
+//   - Each domain worker owns a private calendar ring + (time, seq)
+//     spill heap (pwq) instead of the interpreter worker's 4-ary heap:
+//     the same near-future/far-future split the sequential VM uses,
+//     applied per domain.
+//
+// Ordering invariants are the interpreter partSched's, restated for the
+// worker-side pwq: a domain receives its events in global seq order
+// (pending batches are appended in push order and sent in order), and
+// within one drain the worker interleaves spill and ring events so that
+// for any time t all spill events at t precede all ring events at t —
+// an event spills only when t >= lo+pwRingLen at insert, and lo is
+// monotone, so the spill insert happened in an earlier batch (smaller
+// seqs) than any ring insert at the same time. Ring bucket FIFO order
+// is seq order for the same reason as the sequential VM. The sequencer
+// then k-way merges the per-domain responses by (time, seq).
+//
+// Unlike the interpreter's scheduler, a pSched is retained inside the
+// pooled vm across runs: channels and buffers are created once, workers
+// are respawned per run (started by start, terminated by a sentinel
+// message in stop), and stop scrubs every retained buffer of stale
+// activation pointers so a pooled vm keeps nothing alive.
+
+import (
+	"math"
+	"sync"
+)
+
+// pSched is the sequencer-side state: the central bucket ring spanning
+// [cur, fence) (at most 2 windows, sized 4 so distinct live times map to
+// distinct buckets), per-domain pending batches, and the merge scratch.
+type pSched struct {
+	nDoms  int
+	window int64
+	mask   int64 // ring size - 1 (ring size = 4 * window, a power of two)
+
+	buckets   []pBucket
+	ringCount int // events currently in ring buckets
+	total     int // all pending events: ring + pending batches + domains
+
+	// cur is the next time to consume; covered is the exclusive bound of
+	// merged (consumable) time; fence is the push-routing boundary and
+	// the exclusive bound of the outstanding drain request [covered,
+	// fence). Invariants outside advance(): cur <= covered <= fence.
+	cur, covered, fence int64
+
+	// pending[d] buffers far pushes for domain d until the next flush.
+	pending [][]sev
+	doms    []pDomain
+
+	// resp/respPos are merge scratch (per-domain response cursors).
+	resp    [][]sev
+	respPos []int
+
+	// batchFree/respFree recycle slice buffers across windows.
+	batchFree chan []sev
+	respFree  chan []sev
+
+	wg sync.WaitGroup
+}
+
+// pBucket is one central ring slot: all events due at one time, split
+// into the domain-drained segment (early) and direct pushes (late).
+// Early seqs precede late seqs for the same bucket (see
+// dataflow/psched.go for the fence-monotonicity argument).
+type pBucket struct {
+	early, late       []sev
+	earlyPos, latePos int
+}
+
+// pMsg is the sequencer→worker message for one window: insert batch
+// (may be nil), then drain everything below hi and respond. hi < 0 is
+// the stop sentinel — the worker exits without responding. A sentinel
+// is used instead of closing the channel because the channels are
+// created once and reused across runs of the pooled vm.
+type pMsg struct {
+	batch []sev
+	hi    int64
+}
+
+// pResp is the worker's answer: the drained events in (time, seq)
+// order, plus the earliest remaining event time (MaxInt64 when empty)
+// so the sequencer can fast-forward across event-free gaps.
+type pResp struct {
+	events  []sev
+	minNext int64
+}
+
+// pDomain is one domain's channels plus its worker-owned queue. The pad
+// keeps the worker's hot queue state off the cache lines the channel
+// headers (touched by the sequencer) live on.
+type pDomain struct {
+	in  chan pMsg
+	out chan pResp
+	_   [64]byte
+	q   pwq
+}
+
+// pwq is a domain worker's private queue: the sequential VM's calendar
+// ring + spill heap, scoped to one domain. Ring buckets hold events
+// within pwRingLen cycles of lo; everything further out waits in the
+// (time, seq) min-heap.
+type pwq struct {
+	buckets [pwRingLen][]sev
+	spill   []sev
+	count   int // events in ring buckets
+	lo      int64
+}
+
+const (
+	pwRingBits = 9
+	pwRingLen  = 1 << pwRingBits
+	pwRingMask = pwRingLen - 1
+)
+
+// insert queues one event. All inserts satisfy e.time >= lo: the
+// sequencer only routes events with time >= fence to a domain, and lo
+// is always the hi of the previously answered drain, i.e. the fence at
+// the time the batch was flushed.
+func (q *pwq) insert(e sev) {
+	if e.time-q.lo < pwRingLen {
+		q.buckets[e.time&pwRingMask] = append(q.buckets[e.time&pwRingMask], e)
+		q.count++
+		return
+	}
+	q.spill = sevPush(q.spill, e)
+}
+
+// drain appends every queued event below hi to out in (time, seq) order
+// and advances lo to hi. Buckets are scrubbed as they empty so they
+// hold no stale activation pointers past the drain.
+func (q *pwq) drain(hi int64, out []sev) []sev {
+	for q.count > 0 && q.lo < hi {
+		// Spill events at lo come first: their seqs all precede the ring
+		// events' at the same time (spilled in an earlier batch).
+		for len(q.spill) > 0 && q.spill[0].time == q.lo {
+			var e sev
+			e, q.spill = sevPop(q.spill)
+			out = append(out, e)
+		}
+		if b := q.buckets[q.lo&pwRingMask]; len(b) > 0 {
+			out = append(out, b...)
+			q.count -= len(b)
+			clear(b)
+			q.buckets[q.lo&pwRingMask] = b[:0]
+		}
+		q.lo++
+	}
+	if q.count == 0 {
+		// Ring empty: everything left below hi is on the heap, which
+		// pops in (time, seq) order directly.
+		for len(q.spill) > 0 && q.spill[0].time < hi {
+			var e sev
+			e, q.spill = sevPop(q.spill)
+			out = append(out, e)
+		}
+		q.lo = hi
+	}
+	return out
+}
+
+// minNext returns the earliest queued event time (MaxInt64 when empty).
+// Ring events all lie in [lo, lo+pwRingLen), so a bounded bucket scan
+// finds the ring minimum.
+func (q *pwq) minNext() int64 {
+	min := int64(math.MaxInt64)
+	if len(q.spill) > 0 {
+		min = q.spill[0].time
+	}
+	if q.count > 0 {
+		for t := q.lo; t < q.lo+pwRingLen; t++ {
+			if len(q.buckets[t&pwRingMask]) > 0 {
+				if t < min {
+					min = t
+				}
+				break
+			}
+		}
+	}
+	return min
+}
+
+// reset scrubs the queue between runs (stale events from an errored or
+// early-terminated run hold activation pointers).
+func (q *pwq) reset() {
+	for i := range q.buckets {
+		b := q.buckets[i][:cap(q.buckets[i])]
+		clear(b)
+		q.buckets[i] = b[:0]
+	}
+	s := q.spill[:cap(q.spill)]
+	clear(s)
+	q.spill = s[:0]
+	q.count = 0
+	q.lo = 0
+}
+
+// sevPush appends e to the (time, seq) min-heap and sifts it up.
+func sevPush(s []sev, e sev) []sev {
+	s = append(s, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) >> 1
+		if !evLess(&s[i], &s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	return s
+}
+
+// sevPop removes and returns the heap minimum.
+func sevPop(s []sev) (sev, []sev) {
+	e := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last].act = nil
+	s = s[:last]
+	i := 0
+	for {
+		c := i*2 + 1
+		if c >= len(s) {
+			break
+		}
+		if c+1 < len(s) && evLess(&s[c+1], &s[c]) {
+			c++
+		}
+		if !evLess(&s[c], &s[i]) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return e, s
+}
+
+func newPSched(nDoms int, window int64) *pSched {
+	ring := 4 * window
+	s := &pSched{
+		nDoms:     nDoms,
+		window:    window,
+		mask:      ring - 1,
+		buckets:   make([]pBucket, ring),
+		pending:   make([][]sev, nDoms),
+		doms:      make([]pDomain, nDoms),
+		resp:      make([][]sev, nDoms),
+		respPos:   make([]int, nDoms),
+		batchFree: make(chan []sev, 2*nDoms),
+		respFree:  make(chan []sev, 2*nDoms),
+	}
+	for i := range s.doms {
+		// in capacity 2 holds the one outstanding drain request plus the
+		// stop sentinel; out capacity 1 holds the single outstanding
+		// response — neither side ever blocks.
+		s.doms[i].in = make(chan pMsg, 2)
+		s.doms[i].out = make(chan pResp, 1)
+	}
+	return s
+}
+
+// start resets the sequencer state, spawns this run's workers, and
+// primes the pipeline: one drain request is outstanding from here on.
+func (s *pSched) start() {
+	s.ringCount, s.total = 0, 0
+	s.cur, s.covered, s.fence = 0, 0, 0
+	for i := range s.doms {
+		s.wg.Add(1)
+		go s.worker(&s.doms[i])
+	}
+	s.flushAndRequest()
+}
+
+// stop terminates the workers and scrubs every retained buffer of stale
+// activation pointers (the pSched lives on inside the pooled vm). Safe
+// on every run-loop exit path: exactly one drain request is outstanding,
+// so the sentinel queues behind it, the worker answers into the buffered
+// out channel, and both sides proceed without blocking.
+func (s *pSched) stop() {
+	for i := range s.doms {
+		s.doms[i].in <- pMsg{hi: -1}
+	}
+	s.wg.Wait()
+	for i := range s.doms {
+		d := &s.doms[i]
+		select {
+		case r := <-d.out: // final response to the outstanding request
+			s.putResp(r.events)
+		default:
+		}
+		d.q.reset()
+		p := s.pending[i][:cap(s.pending[i])]
+		clear(p)
+		s.pending[i] = p[:0]
+		s.resp[i] = nil
+	}
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		e := b.early[:cap(b.early)]
+		clear(e)
+		b.early = e[:0]
+		l := b.late[:cap(b.late)]
+		clear(l)
+		b.late = l[:0]
+		b.earlyPos, b.latePos = 0, 0
+	}
+	scrubFree(s.batchFree)
+	scrubFree(s.respFree)
+}
+
+// scrubFree clears the full capacity of every recycled buffer sitting
+// in a free list (their spare capacity still references events from the
+// finished run).
+func scrubFree(ch chan []sev) {
+	for n := len(ch); n > 0; n-- {
+		b := <-ch
+		b = b[:cap(b)]
+		clear(b)
+		ch <- b[:0]
+	}
+}
+
+// worker owns one domain's queue. It never dereferences an event's act
+// pointer — only (time, seq) — so it races with nothing the sequencer
+// does to activation state.
+func (s *pSched) worker(d *pDomain) {
+	defer s.wg.Done()
+	q := &d.q
+	for {
+		msg := <-d.in
+		if msg.hi < 0 {
+			return
+		}
+		if msg.batch != nil {
+			for _, e := range msg.batch {
+				q.insert(e)
+			}
+			s.putBatch(msg.batch)
+		}
+		out := q.drain(msg.hi, s.getResp())
+		d.out <- pResp{events: out, minNext: q.minNext()}
+	}
+}
+
+// push routes one event: inside the fence onto the central ring, past
+// it into its domain's pending batch. Called only from the sequencer;
+// the event already carries its global sequence number.
+func (s *pSched) push(e sev, dom int16) {
+	s.total++
+	if e.time < s.fence {
+		b := &s.buckets[e.time&s.mask]
+		b.late = append(b.late, e)
+		s.ringCount++
+		return
+	}
+	s.pending[dom] = append(s.pending[dom], e)
+}
+
+// next returns the globally next event by (time, seq). It must only be
+// called while total > 0, and then always returns an event.
+func (s *pSched) next() sev {
+	for {
+		for s.cur < s.covered {
+			b := &s.buckets[s.cur&s.mask]
+			if b.earlyPos < len(b.early) {
+				e := b.early[b.earlyPos]
+				b.earlyPos++
+				s.ringCount--
+				s.total--
+				return e
+			}
+			if b.latePos < len(b.late) {
+				e := b.late[b.latePos]
+				b.latePos++
+				s.ringCount--
+				s.total--
+				return e
+			}
+			b.early = b.early[:0]
+			b.late = b.late[:0]
+			b.earlyPos, b.latePos = 0, 0
+			s.cur++
+		}
+		s.advance()
+	}
+}
+
+// advance moves the window forward: merge the outstanding drain
+// [covered, fence), then flush pending batches and request the next
+// window. When the ring is empty and nothing is buffered outside the
+// domains, the per-domain queue minima are an exact global minimum, so
+// the window jumps straight to the next event instead of crawling
+// fence-by-fence across gaps (memory latencies, injected delays).
+func (s *pSched) advance() {
+	minAll := s.mergeWindow()
+	s.covered = s.fence
+	if s.ringCount == 0 {
+		s.cur = s.covered
+		if s.total > 0 && !s.pendingAny() && minAll > s.covered {
+			if minAll == math.MaxInt64 {
+				panic("codegen: partitioned scheduler lost events (accounting bug)")
+			}
+			s.cur, s.covered = minAll, minAll
+		}
+	}
+	s.flushAndRequest()
+}
+
+func (s *pSched) pendingAny() bool {
+	for _, p := range s.pending {
+		if len(p) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeWindow receives every domain's response to the outstanding drain
+// and k-way merges them by (time, seq) into the ring's early segments.
+// Returns the minimum post-drain queue minimum across domains.
+func (s *pSched) mergeWindow() int64 {
+	nd := s.nDoms
+	minAll := int64(math.MaxInt64)
+	for i := 0; i < nd; i++ {
+		r := <-s.doms[i].out
+		s.resp[i] = r.events
+		s.respPos[i] = 0
+		if r.minNext < minAll {
+			minAll = r.minNext
+		}
+	}
+	for {
+		best := -1
+		var bt, bs int64
+		for i := 0; i < nd; i++ {
+			p := s.respPos[i]
+			if p >= len(s.resp[i]) {
+				continue
+			}
+			e := &s.resp[i][p]
+			if best < 0 || e.time < bt || (e.time == bt && e.seq < bs) {
+				best, bt, bs = i, e.time, e.seq
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := s.resp[best][s.respPos[best]]
+		s.respPos[best]++
+		b := &s.buckets[e.time&s.mask]
+		b.early = append(b.early, e)
+		s.ringCount++
+	}
+	for i := 0; i < nd; i++ {
+		s.putResp(s.resp[i])
+		s.resp[i] = nil
+	}
+	return minAll
+}
+
+// flushAndRequest sends each domain its pending batch plus the next
+// drain request [covered, covered+window) in one message, advancing the
+// fence. Batch-then-drain order within the message makes a drain
+// response complete: every event routed to a domain before the fence
+// advanced is in its queue before the drain runs.
+func (s *pSched) flushAndRequest() {
+	hi := s.covered + s.window
+	for i := range s.doms {
+		var batch []sev
+		if len(s.pending[i]) > 0 {
+			batch = s.pending[i]
+			s.pending[i] = s.getBatch()
+		}
+		s.doms[i].in <- pMsg{batch: batch, hi: hi}
+	}
+	s.fence = hi
+}
+
+func (s *pSched) getBatch() []sev {
+	select {
+	case b := <-s.batchFree:
+		return b
+	default:
+		return make([]sev, 0, 64)
+	}
+}
+
+func (s *pSched) putBatch(b []sev) {
+	select {
+	case s.batchFree <- b[:0]:
+	default:
+	}
+}
+
+func (s *pSched) getResp() []sev {
+	select {
+	case b := <-s.respFree:
+		return b
+	default:
+		return make([]sev, 0, 64)
+	}
+}
+
+func (s *pSched) putResp(b []sev) {
+	select {
+	case s.respFree <- b[:0]:
+	default:
+	}
+}

@@ -115,13 +115,16 @@ func WithBackend(b Backend) Option {
 
 // WithPartitions splits each simulated graph into n event domains run
 // through the partitioned scheduler (see DESIGN.md "Partitioned
-// simulation"): per-domain event heaps on worker goroutines,
+// simulation"): per-domain event queues on worker goroutines,
 // synchronized by conservative time windows that preserve the global
 // (time, seq) order — results are bit-identical to the sequential
 // engine for every n. Values 0 and 1 (the default) select the
-// sequential queue. The compiled backend ignores the setting (its
-// time-bucketed ring is already the fast path), as do observed runs
-// (RunTraced, RunProfiled); results are identical either way.
+// sequential queue. Both backends honor the setting: the interpreter
+// shards its event heap, the compiled backend lowers a
+// domain-renumbered module whose VM runs per-domain calendar rings
+// behind the same barrier protocol (DESIGN.md "Partitioned VM").
+// Observed runs (RunTraced, RunProfiled) ignore it; results are
+// identical either way.
 func WithPartitions(n int) Option {
 	return optionFunc(func(c *config) { c.partitions = n })
 }
@@ -178,6 +181,13 @@ type Compiled struct {
 	// on first use, under partOnce).
 	partOnce sync.Once
 	part     *dataflow.Partition
+
+	// compiledPartMod is the partitioned bytecode module compiled-backend
+	// partitioned runs use. The domain assignment is baked into the
+	// module's index layout at lowering, so it is a distinct module from
+	// compiledMod (built once, on first use, under compiledPartOnce).
+	compiledPartOnce sync.Once
+	compiledPartMod  *codegen.Module
 }
 
 // sharedInfo returns the program's prebuilt simulation structures,
@@ -208,8 +218,23 @@ func (c *Compiled) partitionInfo() *dataflow.Partition {
 	return c.part
 }
 
-// usePartitions reports whether a plain (unobserved) run should go
-// through the partitioned scheduler.
+// compiledPartInfo returns the partitioned bytecode module, lowering it
+// on first use. Only called when Partitions > 1 and the backend is
+// compiled.
+func (c *Compiled) compiledPartInfo() *codegen.Module {
+	c.compiledPartOnce.Do(func() {
+		mod, err := codegen.CompilePartitioned(c.Program, c.partitionInfo())
+		if err != nil {
+			panic(err) // unreachable: the partition is built from c.Program
+		}
+		c.compiledPartMod = mod
+	})
+	return c.compiledPartMod
+}
+
+// usePartitions reports whether a plain (unobserved) interpreter run
+// should go through the partitioned scheduler. The compiled backend
+// routes partitioned runs through compiledPartInfo instead.
 func (c *Compiled) usePartitions() bool {
 	return c.Partitions > 1 && c.Backend != BackendCompiled
 }
@@ -310,6 +335,8 @@ func (c *Compiled) RunCtx(ctx context.Context, entry string, args []int64) (res 
 	ctx, cancel := c.deadlineCtx(ctx)
 	defer cancel()
 	switch {
+	case c.Backend == BackendCompiled && c.Partitions > 1:
+		res, err = c.compiledPartInfo().RunCtx(ctx, entry, args, c.simConfig())
 	case c.Backend == BackendCompiled:
 		res, err = c.compiledInfo().RunCtx(ctx, entry, args, c.simConfig())
 	case c.usePartitions():
@@ -329,6 +356,8 @@ func (c *Compiled) RunFaulted(ctx context.Context, entry string, args []int64, i
 	ctx, cancel := c.deadlineCtx(ctx)
 	defer cancel()
 	switch {
+	case c.Backend == BackendCompiled && c.Partitions > 1:
+		res, err = c.compiledPartInfo().RunFaulted(ctx, entry, args, c.simConfig(), inj)
 	case c.Backend == BackendCompiled:
 		res, err = c.compiledInfo().RunFaulted(ctx, entry, args, c.simConfig(), inj)
 	case c.usePartitions():
@@ -345,6 +374,8 @@ func (c *Compiled) RunWith(entry string, args []int64, cfg SimConfig) (res *SimR
 	ctx, cancel := c.deadlineCtx(nil)
 	defer cancel()
 	switch {
+	case c.Backend == BackendCompiled && c.Partitions > 1:
+		res, err = c.compiledPartInfo().RunCtx(ctx, entry, args, cfg)
 	case c.Backend == BackendCompiled:
 		res, err = c.compiledInfo().RunCtx(ctx, entry, args, cfg)
 	case c.usePartitions():

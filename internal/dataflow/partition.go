@@ -58,6 +58,16 @@ func BuildPartition(p *pegasus.Program, n int, weights *Profile) (*Partition, er
 // Domains returns the number of event domains.
 func (pt *Partition) Domains() int { return pt.n }
 
+// Program returns the program this partition was built for.
+func (pt *Partition) Program() *pegasus.Program { return pt.prog }
+
+// NodeDomains returns the named graph's node ID → domain table, or nil
+// when the graph is unknown (which routes every node to domain 0). The
+// slice is shared with the Partition and must not be modified — it is
+// how the compiled backend (internal/codegen) bakes the same domain
+// assignment into its lowered tables.
+func (pt *Partition) NodeDomains(name string) []int16 { return pt.doms[name] }
+
 // Window returns the synchronization window width in cycles.
 func (pt *Partition) Window() int64 { return pt.window }
 

@@ -3,10 +3,11 @@
 // optimization level — optionally under injected faults — and checks each
 // result against the sequential interpreter oracle. Every configuration
 // additionally runs on both execution backends (the event-driven
-// interpreter and the compiled flat-bytecode VM) and once more with the
-// event queue partitioned into concurrent domains, all of which must
-// agree bit-for-bit: identical Result on completion, identical diagnosis
-// on abort, on clean and on perturbed schedules alike.
+// interpreter and the compiled flat-bytecode VM) and twice more with the
+// event queue partitioned into concurrent domains (interpreter and
+// compiled VM), all of which must agree bit-for-bit: identical Result on
+// completion, identical diagnosis on abort, on clean and on perturbed
+// schedules alike.
 //
 // The contract it enforces is the robustness claim of a self-timed
 // circuit:
@@ -120,6 +121,20 @@ func check(src string, maxCycles int64) (baseline, error) {
 		if *resP != *res {
 			return b, fmt.Errorf("difftest: O%d PARTITION DIVERGENCE:\n sequential  %+v\n partitioned %+v", lvl, res, resP)
 		}
+
+		// And the partitioned compiled VM: same domain assignment, mapped
+		// onto the flat-bytecode scheduler.
+		cppc, err := compilePartsCompiled(src, lvl, maxCycles, Partitions)
+		if err != nil {
+			return b, err
+		}
+		resPC, err := cppc.Run(Entry, nil)
+		if err != nil {
+			return b, fmt.Errorf("difftest: O%d partitioned-compiled run: %w", lvl, err)
+		}
+		if *resPC != *res {
+			return b, fmt.Errorf("difftest: O%d PARTITIONED-COMPILED DIVERGENCE:\n interpreted %+v\n part-compiled %+v", lvl, res, resPC)
+		}
 	}
 	return b, nil
 }
@@ -170,6 +185,10 @@ func CheckFaults(src string, seed int64, maxCycles int64) (FaultReport, error) {
 			return rep, err
 		}
 		cpp, err := compileParts(src, lvl, budget, Partitions)
+		if err != nil {
+			return rep, err
+		}
+		cppc, err := compilePartsCompiled(src, lvl, budget, Partitions)
 		if err != nil {
 			return rep, err
 		}
@@ -253,6 +272,22 @@ func CheckFaults(src string, seed int64, maxCycles int64) (FaultReport, error) {
 				return rep, fmt.Errorf("difftest: O%d %s: PARTITION DIVERGENCE: %d faults triggered sequential, %d partitioned",
 					lvl, fr.name, len(injI.Triggered()), len(injP.Triggered()))
 			}
+
+			// The partitioned compiled VM replays the same battery.
+			injPC := fr.inj()
+			resPC, errPC := cppc.RunFaulted(context.Background(), Entry, nil, injPC)
+			switch {
+			case (err == nil) != (errPC == nil):
+				return rep, fmt.Errorf("difftest: O%d %s: PARTITIONED-COMPILED DIVERGENCE: interpreted err=%v, part-compiled err=%v", lvl, fr.name, err, errPC)
+			case err == nil && *res != *resPC:
+				return rep, fmt.Errorf("difftest: O%d %s: PARTITIONED-COMPILED DIVERGENCE:\n interpreted   %+v\n part-compiled %+v", lvl, fr.name, res, resPC)
+			case err != nil && err.Error() != errPC.Error():
+				return rep, fmt.Errorf("difftest: O%d %s: PARTITIONED-COMPILED DIVERGENCE on error:\n interpreted   %v\n part-compiled %v", lvl, fr.name, err, errPC)
+			}
+			if len(injI.Triggered()) != len(injPC.Triggered()) {
+				return rep, fmt.Errorf("difftest: O%d %s: PARTITIONED-COMPILED DIVERGENCE: %d faults triggered interpreted, %d part-compiled",
+					lvl, fr.name, len(injI.Triggered()), len(injPC.Triggered()))
+			}
 			switch {
 			case err == nil && res.Value == oracle:
 				rep.Absorbed++
@@ -316,6 +351,19 @@ func compileParts(src string, lvl opt.Level, maxCycles int64, parts int) (*core.
 	cp, err := core.CompileSource(src, core.WithLevel(lvl), core.WithSim(sim), core.WithPartitions(parts))
 	if err != nil {
 		return nil, fmt.Errorf("difftest: O%d partitioned compile: %w", lvl, err)
+	}
+	return cp, nil
+}
+
+// compilePartsCompiled is compileAt for partitioned compiled-backend
+// execution (the domain-renumbered flat-bytecode VM).
+func compilePartsCompiled(src string, lvl opt.Level, maxCycles int64, parts int) (*core.Compiled, error) {
+	sim := core.DefaultSim()
+	sim.MaxCycles = maxCycles
+	cp, err := core.CompileSource(src, core.WithLevel(lvl), core.WithSim(sim),
+		core.WithBackend(core.BackendCompiled), core.WithPartitions(parts))
+	if err != nil {
+		return nil, fmt.Errorf("difftest: O%d partitioned-compiled compile: %w", lvl, err)
 	}
 	return cp, nil
 }

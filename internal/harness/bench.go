@@ -231,8 +231,12 @@ func (r *BenchReport) Benchstat() string {
 			row.Workload, row.Workers, row.Runs, 1e9/row.RunsPerSec, row.NsPerEvent, row.RunsPerSec, row.Speedup)
 	}
 	for _, row := range r.Partitioned {
-		fmt.Fprintf(&b, "BenchmarkPartitioned/%s/P%d %d %.0f ns/op %.1f ns/event %.4f allocs/event %.2f speedup\n",
-			row.Workload, row.Partitions, row.Runs, row.NsPerRun, row.NsPerEvent, row.AllocsPerEv, row.Speedup)
+		name := fmt.Sprintf("BenchmarkPartitioned/%s/P%d", row.Workload, row.Partitions)
+		if row.Backend == BackendCodegen {
+			name += "/" + BackendCodegen
+		}
+		fmt.Fprintf(&b, "%s %d %.0f ns/op %.1f ns/event %.4f allocs/event %.2f speedup\n",
+			name, row.Runs, row.NsPerRun, row.NsPerEvent, row.AllocsPerEv, row.Speedup)
 	}
 	return b.String()
 }

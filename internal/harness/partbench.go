@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"spatial/internal/codegen"
 	"spatial/internal/dataflow"
 	"spatial/internal/opt"
 	"spatial/internal/pegasus"
@@ -18,18 +19,21 @@ import (
 // event queue into per-hyperblock domains.
 var BenchPartitions = []int{1, 2, 4}
 
-// PartitionedRow is one (workload, partitions) measurement of
+// PartitionedRow is one (workload, backend, partitions) measurement of
 // single-run simulation throughput with the event queue partitioned
-// into concurrent domains. The partitions=1 row runs the plain
-// sequential engine and anchors Speedup — the comparison the paper's
-// scaling claim actually needs is "partitioned vs the engine you would
-// otherwise use", not "N domains vs 1 domain paying scheduler tax".
-// Value/Cycles/Events must be bit-identical across every row of a
-// workload (the partitioned engine replays the sequential event order
-// exactly), so these rows double as a determinism regression gate.
+// into concurrent domains. The partitions=1 row of each backend runs
+// that backend's plain sequential engine and anchors Speedup — the
+// comparison the paper's scaling claim actually needs is "partitioned
+// vs the engine you would otherwise use", not "N domains vs 1 domain
+// paying scheduler tax". Value/Cycles/Events must be bit-identical
+// across every row of a workload — including across backends (the
+// interpreter's sequential run is the reference for all of them) — so
+// these rows double as a determinism regression gate.
 type PartitionedRow struct {
-	Workload   string `json:"workload"`
-	Level      int    `json:"level"`
+	Workload string `json:"workload"`
+	Level    int    `json:"level"`
+	// Backend is the engine measured ("interp" or "codegen").
+	Backend    string `json:"backend"`
 	Partitions int    `json:"partitions"`
 
 	Value  int64 `json:"value"`
@@ -41,8 +45,8 @@ type PartitionedRow struct {
 	NsPerEvent  float64 `json:"ns_per_event"`
 	AllocsPerEv float64 `json:"allocs_per_event"`
 	// Speedup is this row's ns/event advantage over the sequential
-	// (partitions=1) row of the same workload measured in the same
-	// sweep (1.0 for the sequential row itself).
+	// (partitions=1) row of the same workload and backend measured in
+	// the same sweep (1.0 for the sequential rows themselves).
 	Speedup float64 `json:"speedup_vs_seq"`
 	// Degenerate marks multi-domain rows measured with GOMAXPROCS=1:
 	// the domain workers time-slice one core and only the barrier
@@ -53,11 +57,13 @@ type PartitionedRow struct {
 }
 
 // BenchPartitioned measures intra-run partitioned-simulation scaling
-// for the named workloads at opt.Full across the given domain counts.
-// Each workload is compiled once; the partitions=1 row runs the
-// sequential engine and every partitioned run must reproduce its
-// Result bit-identically or the sweep aborts — a partitioned engine
-// that drifts semantically has no business in a perf baseline.
+// for the named workloads at opt.Full across the given domain counts,
+// on both engines: the interpreter curve first, then the compiled-VM
+// curve, each anchored to its own partitions=1 sequential row. Every
+// run of every row — both backends, all domain counts — must reproduce
+// the interpreter's sequential Result bit-identically or the sweep
+// aborts: a partitioned engine that drifts semantically has no business
+// in a perf baseline.
 func BenchPartitioned(names []string, parts []int, minTime time.Duration) ([]PartitionedRow, error) {
 	var rows []PartitionedRow
 	for _, name := range names {
@@ -70,63 +76,83 @@ func BenchPartitioned(names []string, parts []int, minTime time.Duration) ([]Par
 			return nil, err
 		}
 		sh := dataflow.Prebuild(p)
+		mod := codegen.Compile(p)
 		cfg := dataflow.DefaultConfig()
 		ref, err := sh.Run(w.Entry, nil, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
 
-		seqNs := 0.0
-		for _, n := range parts {
-			row, err := benchPartitionedOne(w, p, sh, cfg, ref, n, minTime)
-			if err != nil {
-				return nil, err
+		for _, backend := range BenchBackends {
+			seqNs := 0.0
+			for _, n := range parts {
+				row, err := benchPartitionedOne(w, p, sh, mod, cfg, ref, backend, n, minTime)
+				if err != nil {
+					return nil, err
+				}
+				if seqNs == 0 {
+					seqNs = row.NsPerEvent
+				}
+				row.Speedup = seqNs / row.NsPerEvent
+				row.Degenerate = n > 1 && runtime.GOMAXPROCS(0) < 2
+				rows = append(rows, row)
 			}
-			if seqNs == 0 {
-				seqNs = row.NsPerEvent
-			}
-			row.Speedup = seqNs / row.NsPerEvent
-			row.Degenerate = n > 1 && runtime.GOMAXPROCS(0) < 2
-			rows = append(rows, row)
 		}
 	}
 	return rows, nil
 }
 
 // benchPartitionedOne times one point of the scaling curve: repeated
-// full simulations with n event domains (n ≤ 1 means the sequential
-// engine) until minTime elapses, every result checked against the
-// sequential reference.
-func benchPartitionedOne(w *workloads.Workload, p *pegasus.Program, sh *dataflow.Shared, cfg dataflow.Config, ref *dataflow.Result, n int, minTime time.Duration) (PartitionedRow, error) {
+// full simulations with n event domains (n ≤ 1 means the backend's
+// sequential engine) until minTime elapses, every result checked
+// against the interpreter's sequential reference.
+func benchPartitionedOne(w *workloads.Workload, p *pegasus.Program, sh *dataflow.Shared, mod *codegen.Module,
+	cfg dataflow.Config, ref *dataflow.Result, backend string, n int, minTime time.Duration) (PartitionedRow, error) {
 	row := PartitionedRow{
 		Workload:   w.Name,
 		Level:      int(opt.Full),
+		Backend:    backend,
 		Partitions: n,
 		Value:      ref.Value,
 		Cycles:     ref.Stats.Cycles,
 		Events:     ref.Stats.Events,
 	}
 
-	run := func() (*dataflow.Result, error) { return sh.Run(w.Entry, nil, cfg) }
-	if n > 1 {
+	var run func() (*dataflow.Result, error)
+	switch {
+	case backend == BackendCodegen && n > 1:
 		part, err := dataflow.BuildPartition(p, n, nil)
 		if err != nil {
-			return row, fmt.Errorf("%s @%d partitions: %w", w.Name, n, err)
+			return row, fmt.Errorf("%s [%s] @%d partitions: %w", w.Name, backend, n, err)
+		}
+		pmod, err := codegen.CompilePartitioned(p, part)
+		if err != nil {
+			return row, fmt.Errorf("%s [%s] @%d partitions: %w", w.Name, backend, n, err)
+		}
+		run = func() (*dataflow.Result, error) { return pmod.Run(w.Entry, nil, cfg) }
+	case backend == BackendCodegen:
+		run = func() (*dataflow.Result, error) { return mod.Run(w.Entry, nil, cfg) }
+	case n > 1:
+		part, err := dataflow.BuildPartition(p, n, nil)
+		if err != nil {
+			return row, fmt.Errorf("%s [%s] @%d partitions: %w", w.Name, backend, n, err)
 		}
 		run = func() (*dataflow.Result, error) {
 			return sh.RunPartitioned(nil, w.Entry, nil, cfg, part)
 		}
+	default:
+		run = func() (*dataflow.Result, error) { return sh.Run(w.Entry, nil, cfg) }
 	}
 
 	// Warm-up run: verifies identity once before timing and fills the
 	// engine's pools so the timed loop measures the steady state.
 	res, err := run()
 	if err != nil {
-		return row, fmt.Errorf("%s @%d partitions: %w", w.Name, n, err)
+		return row, fmt.Errorf("%s [%s] @%d partitions: %w", w.Name, backend, n, err)
 	}
 	if *res != *ref {
-		return row, fmt.Errorf("%s @%d partitions: diverged from sequential reference:\n sequential  %+v\n partitioned %+v",
-			w.Name, n, *ref, *res)
+		return row, fmt.Errorf("%s [%s] @%d partitions: diverged from sequential interpreter reference:\n reference   %+v\n partitioned %+v",
+			w.Name, backend, n, *ref, *res)
 	}
 
 	var ms0, ms1 runtime.MemStats
@@ -137,11 +163,11 @@ func benchPartitionedOne(w *workloads.Workload, p *pegasus.Program, sh *dataflow
 	for elapsed < minTime || runs < 2 {
 		res, err := run()
 		if err != nil {
-			return row, fmt.Errorf("%s @%d partitions: %w", w.Name, n, err)
+			return row, fmt.Errorf("%s [%s] @%d partitions: %w", w.Name, backend, n, err)
 		}
 		if *res != *ref {
-			return row, fmt.Errorf("%s @%d partitions: run %d diverged from sequential reference:\n sequential  %+v\n partitioned %+v",
-				w.Name, n, runs, *ref, *res)
+			return row, fmt.Errorf("%s [%s] @%d partitions: run %d diverged from sequential interpreter reference:\n reference   %+v\n partitioned %+v",
+				w.Name, backend, n, runs, *ref, *res)
 		}
 		runs++
 		elapsed = time.Since(start)
@@ -160,10 +186,14 @@ func benchPartitionedOne(w *workloads.Workload, p *pegasus.Program, sh *dataflow
 func FormatPartitioned(cpus int, rows []PartitionedRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Partitioned single-run throughput (%d CPUs, event domains synchronized by time windows, bit-identity verified)\n", cpus)
-	fmt.Fprintf(&b, "%-14s %-10s %8s %10s %12s %10s\n",
-		"workload", "domains", "runs", "ns/event", "allocs/ev", "speedup")
+	fmt.Fprintf(&b, "%-14s %-8s %-8s %8s %10s %12s %10s\n",
+		"workload", "backend", "domains", "runs", "ns/event", "allocs/ev", "speedup")
 	for _, row := range rows {
-		fmt.Fprintf(&b, "%-14s %-10d %8d %10.1f %12.4f %9.2fx", row.Workload, row.Partitions, row.Runs, row.NsPerEvent, row.AllocsPerEv, row.Speedup)
+		backend := row.Backend
+		if backend == "" {
+			backend = BackendInterp
+		}
+		fmt.Fprintf(&b, "%-14s %-8s %-8d %8d %10.1f %12.4f %9.2fx", row.Workload, backend, row.Partitions, row.Runs, row.NsPerEvent, row.AllocsPerEv, row.Speedup)
 		if row.Degenerate {
 			b.WriteString(" (degenerate: 1 CPU)")
 		}

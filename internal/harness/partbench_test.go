@@ -13,12 +13,16 @@ func TestBenchPartitioned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != len(parts) {
-		t.Fatalf("rows = %d, want %d", len(rows), len(parts))
+	if want := len(parts) * len(BenchBackends); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
 	}
 	for i, row := range rows {
-		if row.Partitions != parts[i] {
-			t.Errorf("row %d: partitions = %d, want %d", i, row.Partitions, parts[i])
+		backend := BenchBackends[i/len(parts)]
+		if row.Backend != backend {
+			t.Errorf("row %d: backend = %q, want %q", i, row.Backend, backend)
+		}
+		if row.Partitions != parts[i%len(parts)] {
+			t.Errorf("row %d: partitions = %d, want %d", i, row.Partitions, parts[i%len(parts)])
 		}
 		if row.Runs < 2 || row.NsPerEvent <= 0 {
 			t.Errorf("row %d: degenerate measurement %+v", i, row)
@@ -26,15 +30,16 @@ func TestBenchPartitioned(t *testing.T) {
 		if row.Value != rows[0].Value || row.Cycles != rows[0].Cycles || row.Events != rows[0].Events {
 			t.Errorf("row %d: reference drifted across domain counts: %+v vs %+v", i, row, rows[0])
 		}
-	}
-	if rows[0].Speedup != 1.0 {
-		t.Errorf("sequential-row speedup = %f, want 1.0", rows[0].Speedup)
-	}
-	if rows[0].Degenerate {
-		t.Error("sequential row flagged degenerate; only multi-domain rows qualify")
-	}
-	if onecpu := runtime.GOMAXPROCS(0) < 2; rows[1].Degenerate != onecpu {
-		t.Errorf("2-domain row degenerate = %v with GOMAXPROCS %d", rows[1].Degenerate, runtime.GOMAXPROCS(0))
+		if row.Partitions == 1 {
+			if row.Speedup != 1.0 {
+				t.Errorf("row %d: sequential-row speedup = %f, want 1.0", i, row.Speedup)
+			}
+			if row.Degenerate {
+				t.Errorf("row %d: sequential row flagged degenerate; only multi-domain rows qualify", i)
+			}
+		} else if onecpu := runtime.GOMAXPROCS(0) < 2; row.Degenerate != onecpu {
+			t.Errorf("row %d: degenerate = %v with GOMAXPROCS %d", i, row.Degenerate, runtime.GOMAXPROCS(0))
+		}
 	}
 
 	rep := &BenchReport{GoVersion: "go-test", CPUs: 1, BenchTime: "30ms", Partitioned: rows}
@@ -42,8 +47,12 @@ func TestBenchPartitioned(t *testing.T) {
 	if !strings.Contains(out, "Partitioned single-run throughput") || !strings.Contains(out, "adpcm_e") {
 		t.Errorf("FormatBench missing partitioned section:\n%s", out)
 	}
-	if !strings.Contains(rep.Benchstat(), "BenchmarkPartitioned/adpcm_e/P2") {
-		t.Errorf("Benchstat missing partitioned lines:\n%s", rep.Benchstat())
+	stat := rep.Benchstat()
+	if !strings.Contains(stat, "BenchmarkPartitioned/adpcm_e/P2 ") {
+		t.Errorf("Benchstat missing interpreter partitioned lines:\n%s", stat)
+	}
+	if !strings.Contains(stat, "BenchmarkPartitioned/adpcm_e/P2/"+BackendCodegen+" ") {
+		t.Errorf("Benchstat missing codegen partitioned lines:\n%s", stat)
 	}
 }
 
